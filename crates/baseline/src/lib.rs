@@ -1,0 +1,35 @@
+//! The single-bus *multi* baseline.
+//!
+//! The Wisconsin Multicube generalizes the single-bus snooping
+//! multiprocessor ("multi", Bell 1985): "a multi is a Multicube for which
+//! k = 1". This crate simulates such a machine with Goodman's *write-once*
+//! coherence protocol \[Good83\] — the scheme the Multicube's write-back
+//! protocol descends from — so the workspace can reproduce the paper's
+//! motivating claim: the single bus saturates at some tens of processors
+//! while the grid of buses keeps scaling.
+//!
+//! The simulator mirrors the `multicube` machine's workload interface
+//! (same [`SyntheticSpec`], same closed-loop efficiency definition) so the
+//! two are directly comparable.
+//!
+//! # Example
+//!
+//! ```
+//! use multicube::SyntheticSpec;
+//! use multicube_baseline::SingleBusMulti;
+//!
+//! let spec = SyntheticSpec::default().with_request_rate_per_ms(10.0);
+//! let mut small = SingleBusMulti::new(8, 42);
+//! let mut large = SingleBusMulti::new(64, 42);
+//! let eff_small = small.run_synthetic(&spec, 100).efficiency;
+//! let eff_large = large.run_synthetic(&spec, 100).efficiency;
+//! assert!(eff_small > eff_large, "one bus cannot feed 64 processors");
+//! ```
+
+pub mod protocol;
+pub mod sim;
+
+pub use protocol::WriteOnceState;
+pub use sim::{BaselineReport, SingleBusMulti};
+
+pub use multicube::SyntheticSpec;

@@ -1,0 +1,99 @@
+//! Goodman's write-once coherence states and transitions \[Good83\].
+
+/// The per-line cache state of the write-once protocol.
+///
+/// * `Invalid` — not present (represented by absence in the simulator;
+///   the variant exists for reporting).
+/// * `Valid` — clean, possibly shared; memory is current.
+/// * `Reserved` — written exactly once since loading; the write went
+///   through to memory, so memory is current, and no other cache holds a
+///   copy (the write-through invalidated them).
+/// * `Dirty` — written more than once; memory is stale; this is the only
+///   copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WriteOnceState {
+    /// Not present in the cache.
+    Invalid,
+    /// Clean and possibly shared.
+    Valid,
+    /// Clean and exclusive (first write has been written through).
+    Reserved,
+    /// Modified and exclusive (memory stale).
+    Dirty,
+}
+
+impl WriteOnceState {
+    /// Whether a processor read hits in this state.
+    pub fn readable(self) -> bool {
+        !matches!(self, WriteOnceState::Invalid)
+    }
+
+    /// Whether a processor write completes locally (no bus traffic).
+    pub fn writable_locally(self) -> bool {
+        matches!(self, WriteOnceState::Reserved | WriteOnceState::Dirty)
+    }
+
+    /// The state after a local write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is not locally writable.
+    pub fn after_local_write(self) -> WriteOnceState {
+        assert!(self.writable_locally(), "local write from {self:?}");
+        WriteOnceState::Dirty
+    }
+
+    /// The state after the first (write-through) write from `Valid`.
+    pub fn after_write_through(self) -> WriteOnceState {
+        WriteOnceState::Reserved
+    }
+
+    /// The state after supplying data to another cache's read.
+    pub fn after_supplying_read(self) -> WriteOnceState {
+        WriteOnceState::Valid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readability() {
+        assert!(!WriteOnceState::Invalid.readable());
+        assert!(WriteOnceState::Valid.readable());
+        assert!(WriteOnceState::Reserved.readable());
+        assert!(WriteOnceState::Dirty.readable());
+    }
+
+    #[test]
+    fn local_writability() {
+        assert!(!WriteOnceState::Valid.writable_locally());
+        assert!(WriteOnceState::Reserved.writable_locally());
+        assert!(WriteOnceState::Dirty.writable_locally());
+    }
+
+    #[test]
+    fn write_progression() {
+        // Valid --write-through--> Reserved --write--> Dirty --write--> Dirty
+        let s = WriteOnceState::Valid.after_write_through();
+        assert_eq!(s, WriteOnceState::Reserved);
+        let s = s.after_local_write();
+        assert_eq!(s, WriteOnceState::Dirty);
+        assert_eq!(s.after_local_write(), WriteOnceState::Dirty);
+    }
+
+    #[test]
+    #[should_panic(expected = "local write from")]
+    fn valid_cannot_write_locally() {
+        let _ = WriteOnceState::Valid.after_local_write();
+    }
+
+    #[test]
+    fn supplying_demotes_to_valid() {
+        assert_eq!(
+            WriteOnceState::Dirty.after_supplying_read(),
+            WriteOnceState::Valid
+        );
+    }
+}

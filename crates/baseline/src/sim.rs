@@ -1,0 +1,443 @@
+//! The single-bus multi simulator.
+
+use std::collections::HashMap;
+
+use multicube::SyntheticSpec;
+use multicube_mem::LineAddr;
+use multicube_sim::stats::{BusyTracker, OnlineStats};
+use multicube_sim::{DeterministicRng, EventQueue, SimTime};
+
+use crate::protocol::WriteOnceState;
+
+/// Result of a synthetic run on the single-bus multi.
+#[derive(Debug, Clone)]
+pub struct BaselineReport {
+    /// Processors on the bus.
+    pub processors: u32,
+    /// Mean processor efficiency (think time over total time).
+    pub efficiency: f64,
+    /// Achieved request rate, requests/ms/processor.
+    pub achieved_rate_per_ms: f64,
+    /// Bus utilization.
+    pub bus_utilization: f64,
+    /// Bus transactions completed.
+    pub transactions: u64,
+    /// Mean transaction latency (ns).
+    pub mean_latency_ns: f64,
+    /// Total simulated time.
+    pub elapsed: SimTime,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// A processor finished thinking and issues its next request.
+    Issue { node: u32 },
+    /// The bus finished serving the head transaction.
+    BusDone,
+    /// A local access (hit) completed.
+    LocalDone { node: u32 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingTxn {
+    node: u32,
+    /// Bus service time for this transaction (ns).
+    service_ns: u64,
+    is_write: bool,
+    line: LineAddr,
+}
+
+/// A classic snooping single-bus multiprocessor with write-once caches.
+///
+/// Timing mirrors the Multicube machine: one bus word every 50 ns, 16-word
+/// blocks, 750 ns device latency charged while the bus is held (on a
+/// single bus, the responding device's access time occupies the bus — this
+/// is precisely why the multi stops scaling).
+#[derive(Debug)]
+pub struct SingleBusMulti {
+    n: u32,
+    events: EventQueue<Ev>,
+    rng: DeterministicRng,
+    /// Per-node cache contents (state only; the set-associative geometry
+    /// is abstracted away — the synthetic workload is state-conditioned).
+    caches: Vec<HashMap<LineAddr, WriteOnceState>>,
+    /// The unique dirty holder of each dirty line.
+    dirty: HashMap<LineAddr, u32>,
+    /// Number of caches holding each line (for invalidation targeting).
+    holders: HashMap<LineAddr, u32>,
+    bus_queue: std::collections::VecDeque<PendingTxn>,
+    bus_inflight: Option<PendingTxn>,
+    busy: BusyTracker,
+    // Workload accounting.
+    remaining: Vec<u64>,
+    think_ns: Vec<f64>,
+    blocked_ns: Vec<f64>,
+    issued_at: Vec<SimTime>,
+    latency: OnlineStats,
+    transactions: u64,
+    // Timing parameters.
+    word_ns: u64,
+    addr_ns: u64,
+    block_words: u64,
+    latency_ns: u64,
+}
+
+impl SingleBusMulti {
+    /// Creates a multi with `n` processors on one bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: u32, seed: u64) -> Self {
+        assert!(n > 0, "need at least one processor");
+        SingleBusMulti {
+            n,
+            events: EventQueue::new(),
+            rng: DeterministicRng::seed(seed),
+            caches: (0..n).map(|_| HashMap::new()).collect(),
+            dirty: HashMap::new(),
+            holders: HashMap::new(),
+            bus_queue: std::collections::VecDeque::new(),
+            bus_inflight: None,
+            busy: BusyTracker::new(),
+            remaining: vec![0; n as usize],
+            think_ns: vec![0.0; n as usize],
+            blocked_ns: vec![0.0; n as usize],
+            issued_at: vec![SimTime::ZERO; n as usize],
+            latency: OnlineStats::new(),
+            transactions: 0,
+            word_ns: 50,
+            addr_ns: 50,
+            block_words: 16,
+            latency_ns: 750,
+        }
+    }
+
+    /// Number of processors.
+    pub fn processors(&self) -> u32 {
+        self.n
+    }
+
+    fn state(&self, node: u32, line: &LineAddr) -> WriteOnceState {
+        self.caches[node as usize]
+            .get(line)
+            .copied()
+            .unwrap_or(WriteOnceState::Invalid)
+    }
+
+    fn set_state(&mut self, node: u32, line: LineAddr, st: WriteOnceState) {
+        let prev = self.state(node, &line);
+        match (prev, st) {
+            (WriteOnceState::Invalid, s) if s != WriteOnceState::Invalid => {
+                *self.holders.entry(line).or_insert(0) += 1;
+            }
+            (p, WriteOnceState::Invalid) if p != WriteOnceState::Invalid => {
+                if let Some(h) = self.holders.get_mut(&line) {
+                    *h -= 1;
+                    if *h == 0 {
+                        self.holders.remove(&line);
+                    }
+                }
+            }
+            _ => {}
+        }
+        if st == WriteOnceState::Dirty {
+            self.dirty.insert(line, node);
+        } else if prev == WriteOnceState::Dirty && self.dirty.get(&line) == Some(&node) {
+            self.dirty.remove(&line);
+        }
+        if st == WriteOnceState::Invalid {
+            self.caches[node as usize].remove(&line);
+        } else {
+            self.caches[node as usize].insert(line, st);
+        }
+    }
+
+    fn invalidate_others(&mut self, node: u32, line: LineAddr) {
+        for other in 0..self.n {
+            if other != node && self.state(other, &line) != WriteOnceState::Invalid {
+                self.set_state(other, line, WriteOnceState::Invalid);
+            }
+        }
+    }
+
+    /// Block transfer time on the bus.
+    fn block_ns(&self) -> u64 {
+        self.addr_ns + self.block_words * self.word_ns
+    }
+
+    /// Runs the closed-loop synthetic workload; see
+    /// [`multicube::Machine::run_synthetic`] for the mirrored semantics.
+    pub fn run_synthetic(&mut self, spec: &SyntheticSpec, txns_per_node: u64) -> BaselineReport {
+        assert!(
+            self.events.is_empty() && self.transactions == 0,
+            "run_synthetic requires a fresh machine"
+        );
+        for node in 0..self.n {
+            self.remaining[node as usize] = txns_per_node;
+            self.schedule_issue(node, spec);
+        }
+        while let Some((_, ev)) = self.events.pop() {
+            match ev {
+                Ev::Issue { node } => self.on_issue(node, spec),
+                Ev::BusDone => self.on_bus_done(spec),
+                Ev::LocalDone { node } => self.complete(node, spec),
+            }
+        }
+        self.check_invariants();
+        let now = self.events.now();
+        let mut eff = 0.0;
+        for i in 0..self.n as usize {
+            let denom = self.think_ns[i] + self.blocked_ns[i];
+            if denom > 0.0 {
+                eff += self.think_ns[i] / denom;
+            } else {
+                eff += 1.0;
+            }
+        }
+        let elapsed_ms = now.as_millis_f64();
+        BaselineReport {
+            processors: self.n,
+            efficiency: eff / self.n as f64,
+            achieved_rate_per_ms: if elapsed_ms > 0.0 {
+                self.transactions as f64 / (self.n as f64 * elapsed_ms)
+            } else {
+                0.0
+            },
+            bus_utilization: self.busy.utilization(now),
+            transactions: self.transactions,
+            mean_latency_ns: self.latency.mean(),
+            elapsed: now,
+        }
+    }
+
+    fn schedule_issue(&mut self, node: u32, spec: &SyntheticSpec) {
+        let idx = node as usize;
+        if self.remaining[idx] == 0 {
+            return;
+        }
+        self.remaining[idx] -= 1;
+        let t = self.rng.exponential(spec.mean_think_ns).max(0.0);
+        self.think_ns[idx] += t;
+        self.events.schedule_after(t as u64, Ev::Issue { node });
+    }
+
+    fn on_issue(&mut self, node: u32, spec: &SyntheticSpec) {
+        self.issued_at[node as usize] = self.events.now();
+        let is_write = self.rng.chance(spec.p_write);
+        let line = self.pick_line(node, spec, is_write);
+        let st = self.state(node, &line);
+
+        if (is_write && st.writable_locally()) || (!is_write && st.readable()) {
+            // Local hit.
+            if is_write {
+                self.set_state(node, line, st.after_local_write());
+            }
+            self.events
+                .schedule_after(self.latency_ns, Ev::LocalDone { node });
+            return;
+        }
+
+        // Bus transaction: a write-through word for the first write to a
+        // valid line, otherwise a full block fetch (read miss, write miss).
+        let service_ns = if is_write && st == WriteOnceState::Valid {
+            self.addr_ns + self.word_ns
+        } else {
+            self.latency_ns + self.block_ns()
+        };
+        let txn = PendingTxn {
+            node,
+            service_ns,
+            is_write,
+            line,
+        };
+        if self.bus_inflight.is_none() {
+            self.start_bus(txn);
+        } else {
+            self.bus_queue.push_back(txn);
+        }
+    }
+
+    fn start_bus(&mut self, txn: PendingTxn) {
+        let now = self.events.now();
+        self.busy.set_busy(now);
+        self.bus_inflight = Some(txn);
+        self.events.schedule_after(txn.service_ns, Ev::BusDone);
+    }
+
+    fn on_bus_done(&mut self, spec: &SyntheticSpec) {
+        let txn = self.bus_inflight.take().expect("bus transaction in flight");
+        // Apply the snooping side effects at completion.
+        let line = txn.line;
+        if txn.is_write {
+            let prev = self.state(txn.node, &line);
+            self.invalidate_others(txn.node, line);
+            let next = if prev == WriteOnceState::Valid {
+                // Write-through word: memory current, now exclusive.
+                prev.after_write_through()
+            } else {
+                // Write miss: fetched block with intent to modify.
+                WriteOnceState::Dirty
+            };
+            self.set_state(txn.node, line, next);
+        } else {
+            // Read miss: a dirty holder (if any) supplies and demotes;
+            // memory is updated as part of the same transaction.
+            if let Some(&holder) = self.dirty.get(&line) {
+                self.set_state(holder, line, WriteOnceState::Valid);
+            }
+            self.set_state(txn.node, line, WriteOnceState::Valid);
+        }
+        self.transactions += 1;
+        self.complete(txn.node, spec);
+        if let Some(next) = self.bus_queue.pop_front() {
+            self.start_bus(next);
+        } else {
+            self.busy.set_idle(self.events.now());
+        }
+    }
+
+    fn complete(&mut self, node: u32, spec: &SyntheticSpec) {
+        let idx = node as usize;
+        let lat = self.events.now().since(self.issued_at[idx]);
+        self.blocked_ns[idx] += lat.as_nanos() as f64;
+        self.latency.record(lat.as_nanos() as f64);
+        self.schedule_issue(node, spec);
+    }
+
+    /// State-conditioned line selection mirroring the multicube driver.
+    fn pick_line(&mut self, node: u32, spec: &SyntheticSpec, is_write: bool) -> LineAddr {
+        let want_dirty_remote = !self.rng.chance(spec.p_unmodified);
+        if want_dirty_remote && !self.dirty.is_empty() {
+            // Deterministic uniform pick of a dirty line held elsewhere.
+            let mut lines: Vec<_> = self
+                .dirty
+                .iter()
+                .filter(|(_, &h)| h != node)
+                .map(|(l, _)| *l)
+                .collect();
+            if !lines.is_empty() {
+                lines.sort_unstable();
+                let i = self.rng.below(lines.len() as u64) as usize;
+                return lines[i];
+            }
+        }
+        let want_sharers = is_write && self.rng.chance(spec.p_invalidation);
+        let mut fallback = None;
+        for _ in 0..16 {
+            let line = LineAddr::new(self.rng.below(spec.shared_lines));
+            if self.dirty.contains_key(&line) {
+                continue;
+            }
+            if self.state(node, &line) != WriteOnceState::Invalid {
+                continue;
+            }
+            let shared = self.holders.get(&line).copied().unwrap_or(0) > 0;
+            if !is_write || shared == want_sharers {
+                return line;
+            }
+            fallback = Some(line);
+        }
+        fallback.unwrap_or_else(|| LineAddr::new(self.rng.below(spec.shared_lines)))
+    }
+
+    /// Write-once invariants: at most one dirty holder per line, and a
+    /// dirty line has exactly one holder overall.
+    fn check_invariants(&self) {
+        let mut dirty_seen: HashMap<LineAddr, u32> = HashMap::new();
+        for node in 0..self.n {
+            for (line, st) in &self.caches[node as usize] {
+                if *st == WriteOnceState::Dirty {
+                    assert!(
+                        dirty_seen.insert(*line, node).is_none(),
+                        "two dirty holders of {line:?}"
+                    );
+                    assert_eq!(
+                        self.holders.get(line),
+                        Some(&1),
+                        "dirty line {line:?} has other copies"
+                    );
+                }
+                if *st == WriteOnceState::Reserved {
+                    assert_eq!(
+                        self.holders.get(line),
+                        Some(&1),
+                        "reserved line {line:?} has other copies"
+                    );
+                }
+            }
+        }
+        for (line, holder) in &self.dirty {
+            assert_eq!(dirty_seen.get(line), Some(holder), "dirty index stale");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(rate: f64) -> SyntheticSpec {
+        SyntheticSpec::default().with_request_rate_per_ms(rate)
+    }
+
+    #[test]
+    fn completes_all_transactions() {
+        let mut m = SingleBusMulti::new(4, 1);
+        let r = m.run_synthetic(&spec(10.0), 50);
+        assert!(r.transactions > 0);
+        assert!(r.efficiency > 0.0 && r.efficiency <= 1.0);
+    }
+
+    #[test]
+    fn efficiency_high_at_light_load() {
+        let mut m = SingleBusMulti::new(4, 2);
+        let r = m.run_synthetic(&spec(0.5), 100);
+        assert!(r.efficiency > 0.9, "got {}", r.efficiency);
+    }
+
+    #[test]
+    fn bus_saturates_with_many_processors() {
+        let eff = |n: u32| {
+            let mut m = SingleBusMulti::new(n, 3);
+            m.run_synthetic(&spec(10.0), 60).efficiency
+        };
+        let small = eff(4);
+        let medium = eff(16);
+        let large = eff(64);
+        assert!(small > medium && medium > large, "{small} {medium} {large}");
+        // At 40 requests/ms a single bus is hopelessly oversubscribed by
+        // 64 processors (offered bus demand ~4x capacity).
+        let crushed = {
+            let mut m = SingleBusMulti::new(64, 3);
+            m.run_synthetic(&spec(40.0), 60).efficiency
+        };
+        assert!(crushed < 0.5, "64 processors must crush one bus: {crushed}");
+    }
+
+    #[test]
+    fn utilization_grows_with_processors() {
+        let util = |n: u32| {
+            let mut m = SingleBusMulti::new(n, 3);
+            m.run_synthetic(&spec(5.0), 60).bus_utilization
+        };
+        assert!(util(16) > util(2));
+    }
+
+    #[test]
+    fn deterministic_across_seeds() {
+        let run = |seed: u64| {
+            let mut m = SingleBusMulti::new(8, seed);
+            let r = m.run_synthetic(&spec(8.0), 40);
+            (r.transactions, r.efficiency.to_bits())
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_rejected() {
+        let _ = SingleBusMulti::new(0, 1);
+    }
+}

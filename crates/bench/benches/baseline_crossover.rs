@@ -1,0 +1,29 @@
+//! E-1.1 bench: single-bus multi vs Multicube at matched size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use multicube::{Machine, MachineConfig, SyntheticSpec};
+use multicube_baseline::SingleBusMulti;
+
+fn crossover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_crossover");
+    group.sample_size(10);
+    let spec = SyntheticSpec::default().with_request_rate_per_ms(10.0);
+    group.bench_function("single_bus_16", |b| {
+        let spec = spec.clone();
+        b.iter(|| {
+            let mut m = SingleBusMulti::new(16, 6);
+            m.run_synthetic(&spec, 20).efficiency
+        });
+    });
+    group.bench_function("multicube_16", |b| {
+        let spec = spec.clone();
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::grid(4).unwrap(), 6).unwrap();
+            m.run_synthetic(&spec, 20).efficiency
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, crossover);
+criterion_main!(benches);

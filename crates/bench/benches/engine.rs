@@ -1,0 +1,63 @@
+//! Microbenchmarks of the simulation substrate itself: event-queue
+//! throughput, cache operations, and raw machine transaction rate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use multicube::{Machine, MachineConfig, Request};
+use multicube_mem::{CacheGeometry, LineAddr, SetAssocCache};
+use multicube_sim::EventQueue;
+use multicube_topology::NodeId;
+
+fn event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule_after(i % 97, i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            sum
+        });
+    });
+}
+
+fn cache_ops(c: &mut Criterion) {
+    c.bench_function("set_assoc_cache_churn_10k", |b| {
+        b.iter(|| {
+            let mut cache: SetAssocCache<u32> =
+                SetAssocCache::new(CacheGeometry::new(256, 4));
+            for i in 0..10_000u64 {
+                cache.insert(LineAddr::new(i % 2048), i as u32);
+                cache.get(&LineAddr::new((i * 7) % 2048));
+            }
+            cache.len()
+        });
+    });
+}
+
+fn machine_txns(c: &mut Criterion) {
+    c.bench_function("machine_1k_transactions", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::grid(4).unwrap(), 8).unwrap();
+            for i in 0..1_000u64 {
+                let node = NodeId::new((i % 16) as u32);
+                let line = LineAddr::new(i % 64);
+                let req = if i % 3 == 0 {
+                    Request::write(line)
+                } else {
+                    Request::read(line)
+                };
+                if m.submit(node, req).is_ok() {
+                    m.advance();
+                }
+            }
+            m.run_to_quiescence();
+            m.metrics().total_transactions()
+        });
+    });
+}
+
+criterion_group!(benches, event_queue, cache_ops, machine_txns);
+criterion_main!(benches);

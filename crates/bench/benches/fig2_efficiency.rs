@@ -1,0 +1,28 @@
+//! Figure 2 bench: times one simulated operating point per grid side.
+//!
+//! The full figure is produced by `figures -- fig2`; this bench keeps the
+//! experiment's code path exercised and timed under `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use multicube::{Machine, MachineConfig, SyntheticSpec};
+
+fn fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_efficiency");
+    group.sample_size(10);
+    for n in [4u32, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let spec = SyntheticSpec::default().with_request_rate_per_ms(15.0);
+            b.iter(|| {
+                let config = MachineConfig::grid(n).unwrap();
+                let mut m = Machine::new(config, 1).unwrap();
+                let report = m.run_synthetic(&spec, 15);
+                assert!(report.efficiency > 0.0);
+                report.efficiency
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig2);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 3 bench: the invalidation sweep at one operating point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use multicube::{Machine, MachineConfig, SyntheticSpec};
+
+fn fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_invalidation");
+    group.sample_size(10);
+    for inval in [10u32, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(inval), &inval, |b, &i| {
+            let spec = SyntheticSpec::default()
+                .with_request_rate_per_ms(15.0)
+                .with_p_invalidation(i as f64 / 100.0);
+            b.iter(|| {
+                let config = MachineConfig::grid(8).unwrap();
+                let mut m = Machine::new(config, 2).unwrap();
+                m.run_synthetic(&spec, 15).efficiency
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 4 bench: the block-size sweep at one operating point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use multicube::{Machine, MachineConfig, SyntheticSpec};
+
+fn fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_blocksize");
+    group.sample_size(10);
+    for block in [4u32, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(block), &block, |b, &w| {
+            let spec = SyntheticSpec::default().with_request_rate_per_ms(15.0);
+            b.iter(|| {
+                let config = MachineConfig::grid(8).unwrap().with_block_words(w);
+                let mut m = Machine::new(config, 3).unwrap();
+                m.run_synthetic(&spec, 15).efficiency
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

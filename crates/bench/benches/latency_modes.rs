@@ -1,0 +1,28 @@
+//! E-5.1 bench: the §5 latency-reduction modes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use multicube::{LatencyMode, Machine, MachineConfig, SyntheticSpec};
+
+fn latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("latency_modes");
+    group.sample_size(10);
+    let modes = [
+        ("store_and_forward", LatencyMode::StoreAndForward),
+        ("word_first", LatencyMode::RequestedWordFirst),
+        ("pieces4", LatencyMode::Pieces { words: 4 }),
+    ];
+    for (name, mode) in modes {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
+            let spec = SyntheticSpec::default().with_request_rate_per_ms(15.0);
+            b.iter(|| {
+                let config = MachineConfig::grid(8).unwrap().with_latency_mode(mode);
+                let mut m = Machine::new(config, 4).unwrap();
+                m.run_synthetic(&spec, 15).mean_latency_ns
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, latency);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E-4.1 bench: hot-lock traffic, spinning vs distributed queue.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use multicube::{Machine, MachineConfig};
+use multicube_sync::{LockExperiment, QueueLock, SpinLock};
+
+fn sync_traffic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sync_traffic");
+    group.sample_size(10);
+    group.bench_function("spin_tas", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::grid(2).unwrap(), 5).unwrap();
+            LockExperiment::new(3)
+                .with_hold_ns(10_000)
+                .run::<SpinLock>(&mut m)
+                .ops_per_acquisition()
+        });
+    });
+    group.bench_function("queue_sync", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::grid(2).unwrap(), 5).unwrap();
+            LockExperiment::new(3)
+                .with_hold_ns(10_000)
+                .run::<QueueLock>(&mut m)
+                .ops_per_acquisition()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sync_traffic);
+criterion_main!(benches);

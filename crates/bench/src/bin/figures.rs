@@ -1,0 +1,343 @@
+//! Regenerates the paper's figures and tables.
+//!
+//! ```text
+//! figures [command] [--quick] [--txns N]
+//!
+//! commands:
+//!   fig2      Figure 2: efficiency vs processors per row (model + sim)
+//!   fig3      Figure 3: effect of invalidations, 1K processors
+//!   fig4      Figure 4: effect of block size, 1K processors
+//!   latency   E-5.1: §5 latency-reduction techniques
+//!   costs     T-6.1: bus operations per transaction class
+//!   scaling   T-6.2: §6 Multicube scaling formulas
+//!   sync      E-4.1: lock traffic, spinning vs distributed queue
+//!   baseline  E-1.1: single-bus multi vs Multicube
+//!   ablations A-1..A-3: MLT sizing, signal-drop robustness, snarfing
+//!   kdim      E-6.1: the k-dimensional Multicube model (§6 future work)
+//!   all       everything above
+//! ```
+
+use multicube_bench::{
+    baseline_rows, costs_table, mlt_rows, render_series, render_series_utilization,
+    robustness_rows, scaling_rows, sim_figure2, sim_figure3, sim_figure4,
+    sim_latency_modes, snarf_rows, sync_rows, SweepConfig,
+};
+use multicube_mva::figures as mva;
+
+struct Options {
+    quick: bool,
+    txns: Option<u64>,
+    /// Directory to additionally write per-figure CSV files into.
+    csv: Option<std::path::PathBuf>,
+}
+
+impl Options {
+    fn maybe_csv(&self, name: &str, series: &[multicube_mva::FigureSeries]) {
+        if let Some(dir) = &self.csv {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            let path = dir.join(format!("{name}.csv"));
+            multicube_bench::write_series_csv(&path, series).expect("write csv");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+fn sweep(opts: &Options) -> SweepConfig {
+    let mut s = if opts.quick {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::default()
+    };
+    if let Some(t) = opts.txns {
+        s.txns_per_node = t;
+    }
+    s
+}
+
+fn grid_sides(opts: &Options) -> Vec<u32> {
+    if opts.quick {
+        vec![4, 8]
+    } else {
+        vec![8, 16, 24, 32]
+    }
+}
+
+fn big_side(opts: &Options) -> u32 {
+    if opts.quick {
+        8
+    } else {
+        32
+    }
+}
+
+fn fig2(opts: &Options) {
+    let model = mva::figure2();
+    println!("{}", render_series("Figure 2 (model): efficiency vs request rate, n = 8/16/24/32", &model));
+    opts.maybe_csv("fig2_model", &model);
+    let sides = grid_sides(opts);
+    let series = sim_figure2(&sides, &sweep(opts));
+    println!(
+        "{}",
+        render_series("Figure 2 (simulated)", &series)
+    );
+    opts.maybe_csv("fig2_sim", &series);
+}
+
+fn fig3(opts: &Options) {
+    let model = mva::figure3();
+    println!("{}", render_series("Figure 3 (model): effect of invalidations, 1K processors", &model));
+    opts.maybe_csv("fig3_model", &model);
+    let series = sim_figure3(&[0.1, 0.2, 0.3, 0.4, 0.5], big_side(opts), &sweep(opts));
+    println!(
+        "{}",
+        render_series(
+            "Figure 3 (simulated, broadcast sharing-filter ablation; the faithful protocol always broadcasts, making all curves coincide)",
+            &series
+        )
+    );
+    println!(
+        "{}",
+        render_series_utilization(
+            "Figure 3 (simulated): row-bus utilization — the invalidation traffic itself",
+            &series
+        )
+    );
+}
+
+fn fig4(opts: &Options) {
+    let model = mva::figure4();
+    println!("{}", render_series("Figure 4 (model): effect of block size, 1K processors", &model));
+    opts.maybe_csv("fig4_model", &model);
+    println!("Figure 4 sloping dashed line (rate halves as block doubles):");
+    for p in mva::figure4_rate_scaled(16.0) {
+        println!(
+            "  rate={:>6.2}/ms  efficiency={:.4}",
+            p.rate_per_ms, p.efficiency
+        );
+    }
+    println!();
+    let series = sim_figure4(&[4, 8, 16, 32, 64], big_side(opts), &sweep(opts));
+    println!("{}", render_series("Figure 4 (simulated)", &series));
+    opts.maybe_csv("fig4_sim", &series);
+}
+
+fn latency(opts: &Options) {
+    println!("{}", render_series("E-5.1 (model): latency-reduction techniques", &mva::latency_modes()));
+    let series = sim_latency_modes(big_side(opts).min(16), &sweep(opts));
+    println!("{}", render_series("E-5.1 (simulated)", &series));
+}
+
+fn costs(opts: &Options) {
+    let n = if opts.quick { 4 } else { 8 };
+    println!("== T-6.1: bus operations per transaction (n = {n}) ==");
+    println!(
+        "{:<42} {:>16} {:>9} {:>9} {:>6}",
+        "scenario", "paper bound", "row ops", "col ops", "ok"
+    );
+    for row in costs_table(n) {
+        println!(
+            "{:<42} {:>16} {:>9.1} {:>9.1} {:>6}",
+            row.scenario,
+            row.paper_bound,
+            row.row_ops,
+            row.col_ops,
+            if row.within_bound { "yes" } else { "NO" }
+        );
+    }
+    println!();
+}
+
+fn scaling(_opts: &Options) {
+    println!("== T-6.2: Multicube scaling (buses = k*n^(k-1), bw/proc = k/n) ==");
+    println!(
+        "{:>4} {:>3} {:>10} {:>7} {:>10} {:>10} {:>12} {:>10}",
+        "n", "k", "processors", "buses", "bw/proc", "MLT cover", "inval ops", "path len"
+    );
+    for r in scaling_rows() {
+        println!(
+            "{:>4} {:>3} {:>10} {:>7} {:>10.4} {:>10} {:>12.1} {:>10.3}",
+            r.n,
+            r.k,
+            r.processors,
+            r.buses,
+            r.bandwidth_per_processor,
+            r.mlt_coverage_processors,
+            r.invalidation_ops,
+            r.mean_path_length
+        );
+    }
+    println!();
+}
+
+fn sync(opts: &Options) {
+    let (ns, rounds): (Vec<u32>, u64) = if opts.quick {
+        (vec![2, 4], 3)
+    } else {
+        (vec![2, 4, 8], 4)
+    };
+    println!("== E-4.1: hot-lock bus traffic per acquisition ==");
+    println!(
+        "{:>4} {:>6} {:>16} {:>14} {:>16} {:>14}",
+        "n", "procs", "spin ops/acq", "spin fails", "queue ops/acq", "queue fails"
+    );
+    for row in sync_rows(&ns, rounds) {
+        println!(
+            "{:>4} {:>6} {:>16.1} {:>14} {:>16.1} {:>14}",
+            row.n,
+            row.n * row.n,
+            row.spin_ops_per_acq,
+            row.spin_failures,
+            row.queue_ops_per_acq,
+            row.queue_failures
+        );
+    }
+    println!();
+}
+
+fn baseline(opts: &Options) {
+    let txns = opts.txns.unwrap_or(if opts.quick { 20 } else { 40 });
+    println!("== E-1.1: single-bus multi vs Multicube at 10 req/ms ==");
+    println!(
+        "{:>6} {:>18} {:>14} {:>20}",
+        "procs", "multi efficiency", "multi bus util", "multicube efficiency"
+    );
+    for row in baseline_rows(10.0, txns) {
+        println!(
+            "{:>6} {:>18.4} {:>14.4} {:>20.4}",
+            row.processors, row.multi_efficiency, row.multi_utilization, row.multicube_efficiency
+        );
+    }
+    println!();
+}
+
+fn ablations(opts: &Options) {
+    let n = if opts.quick { 4 } else { 8 };
+    let txns = opts.txns.unwrap_or(60);
+
+    println!("== A-1: modified-line-table sizing (write-heavy, n = {n}) ==");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "capacity", "efficiency", "overflows", "ops/txn"
+    );
+    for row in mlt_rows(n, &[4, 16, 64, 256, 4096], txns) {
+        println!(
+            "{:>10} {:>12.4} {:>12} {:>12.2}",
+            row.capacity, row.efficiency, row.overflows, row.ops_per_txn
+        );
+    }
+    println!();
+
+    println!("== A-2: §3 robustness — dropped modified signals (n = {n}) ==");
+    println!(
+        "{:>8} {:>12} {:>10} {:>10} {:>22}",
+        "drop p", "efficiency", "dropped", "bounces", "retries/modified read"
+    );
+    for row in robustness_rows(n, &[0.0, 0.1, 0.25, 0.5, 0.75], txns) {
+        println!(
+            "{:>8.2} {:>12.4} {:>10} {:>10} {:>22.2}",
+            row.drop_probability,
+            row.efficiency,
+            row.dropped,
+            row.bounces,
+            row.retries_per_read_modified
+        );
+    }
+    println!();
+
+    println!("== A-3: snarfing (hot shared set, n = {n}) ==");
+    println!(
+        "{:>10} {:>12} {:>10} {:>18}",
+        "snarfing", "efficiency", "snarfs", "bus transactions"
+    );
+    for row in snarf_rows(n, txns) {
+        println!(
+            "{:>10} {:>12.4} {:>10} {:>18}",
+            row.snarfing, row.efficiency, row.snarfs, row.bus_transactions
+        );
+    }
+    println!();
+}
+
+fn kdim(_opts: &Options) {
+    use multicube_mva::{dimension_sweep, ModelParams};
+    println!("== E-6.1: k-dimensional Multicube (model; §6 'future research') ==");
+    println!("n = 8 processors per bus, 10 req/ms/processor, Figure 2 workload mix:");
+    println!(
+        "{:>4} {:>12} {:>12} {:>14} {:>10} {:>10}",
+        "k", "processors", "efficiency", "response (ns)", "rho", "path len"
+    );
+    for s in dimension_sweep(&ModelParams::figure2(8), &[1, 2, 3, 4, 5], 10.0) {
+        println!(
+            "{:>4} {:>12} {:>12.4} {:>14.0} {:>10.4} {:>10.3}",
+            s.k, s.processors, s.efficiency, s.response_ns, s.rho, s.path_length
+        );
+    }
+    println!();
+    println!("Without invalidation broadcasts (pure point-to-point traffic):");
+    let mut p = ModelParams::figure2(8);
+    p.p_invalidation = 0.0;
+    println!(
+        "{:>4} {:>12} {:>12} {:>10}",
+        "k", "processors", "efficiency", "rho"
+    );
+    for s in dimension_sweep(&p, &[1, 2, 3, 4, 5], 10.0) {
+        println!(
+            "{:>4} {:>12} {:>12.4} {:>10.4}",
+            s.k, s.processors, s.efficiency, s.rho
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = String::from("all");
+    let mut opts = Options {
+        quick: false,
+        txns: None,
+        csv: None,
+    };
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--txns" => {
+                opts.txns = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .or_else(|| panic!("--txns needs a number"));
+            }
+            "--csv" => {
+                opts.csv = it.next().map(std::path::PathBuf::from);
+                assert!(opts.csv.is_some(), "--csv needs a directory");
+            }
+            c if !c.starts_with('-') => command = c.to_string(),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    match command.as_str() {
+        "fig2" => fig2(&opts),
+        "fig3" => fig3(&opts),
+        "fig4" => fig4(&opts),
+        "latency" => latency(&opts),
+        "costs" => costs(&opts),
+        "scaling" => scaling(&opts),
+        "sync" => sync(&opts),
+        "baseline" => baseline(&opts),
+        "ablations" => ablations(&opts),
+        "kdim" => kdim(&opts),
+        "all" => {
+            fig2(&opts);
+            fig3(&opts);
+            fig4(&opts);
+            latency(&opts);
+            costs(&opts);
+            scaling(&opts);
+            sync(&opts);
+            baseline(&opts);
+            ablations(&opts);
+            kdim(&opts);
+        }
+        other => panic!("unknown command {other}; see --help in the source header"),
+    }
+}

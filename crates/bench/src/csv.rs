@@ -1,0 +1,89 @@
+//! CSV export of figure series, for plotting outside the harness.
+
+use std::io::Write;
+use std::path::Path;
+
+use multicube_mva::FigureSeries;
+
+/// Writes one figure's series as a CSV table: a `rate_per_ms` column
+/// followed by one efficiency column per curve.
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating or writing the file.
+pub fn write_series_csv(
+    path: &Path,
+    series: &[FigureSeries],
+) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    write!(f, "rate_per_ms")?;
+    for s in series {
+        write!(f, ",{}", s.label.replace(',', ";"))?;
+    }
+    writeln!(f)?;
+    let rows = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+    for i in 0..rows {
+        let rate = series
+            .iter()
+            .find_map(|s| s.points.get(i))
+            .map(|p| p.rate_per_ms)
+            .unwrap_or(0.0);
+        write!(f, "{rate}")?;
+        for s in series {
+            match s.points.get(i) {
+                Some(p) => write!(f, ",{}", p.efficiency)?,
+                None => write!(f, ",")?,
+            }
+        }
+        writeln!(f)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multicube_mva::FigurePoint;
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let series = vec![
+            FigureSeries {
+                label: "a".into(),
+                points: vec![
+                    FigurePoint {
+                        rate_per_ms: 1.0,
+                        efficiency: 0.9,
+                        rho_row: 0.1,
+                        rho_col: 0.1,
+                    },
+                    FigurePoint {
+                        rate_per_ms: 2.0,
+                        efficiency: 0.8,
+                        rho_row: 0.2,
+                        rho_col: 0.2,
+                    },
+                ],
+            },
+            FigureSeries {
+                label: "b,with-comma".into(),
+                points: vec![FigurePoint {
+                    rate_per_ms: 1.0,
+                    efficiency: 0.7,
+                    rho_row: 0.3,
+                    rho_col: 0.3,
+                }],
+            },
+        ];
+        let dir = std::env::temp_dir().join("multicube_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig.csv");
+        write_series_csv(&path, &series).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "rate_per_ms,a,b;with-comma");
+        assert!(lines[1].starts_with("1,0.9,0.7"));
+        assert!(lines[2].starts_with("2,0.8,"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

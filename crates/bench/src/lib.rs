@@ -1,0 +1,26 @@
+//! The experiment harness: regenerates every figure and table of the
+//! paper from both the analytical model (`multicube-mva`) and the
+//! discrete-event machine (`multicube`).
+//!
+//! The `figures` binary is the entry point:
+//!
+//! ```text
+//! cargo run --release -p multicube-bench --bin figures -- all
+//! cargo run --release -p multicube-bench --bin figures -- fig2 --quick
+//! ```
+//!
+//! Criterion benches under `benches/` time one representative operating
+//! point per experiment so `cargo bench` exercises every code path.
+
+pub mod csv;
+pub mod simfig;
+pub mod tables;
+
+pub use csv::write_series_csv;
+pub use simfig::{
+    sim_figure2, sim_figure3, sim_figure4, sim_latency_modes, SweepConfig,
+};
+pub use tables::{
+    baseline_rows, costs_table, mlt_rows, render_series, render_series_utilization, robustness_rows, scaling_rows,
+    snarf_rows, sync_rows, BaselineRow, CostRow, MltRow, RobustnessRow, SnarfRow, SyncRow,
+};

@@ -1,0 +1,192 @@
+//! Discrete-event simulation sweeps matching the paper's figures.
+
+use multicube::{LatencyMode, Machine, MachineConfig, SyntheticSpec};
+use multicube_mva::{FigurePoint, FigureSeries};
+
+/// Sweep parameters shared by all simulated figures.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Offered request rates (requests/ms/processor) to sample.
+    pub rates: Vec<f64>,
+    /// Blocking requests issued per processor at each point.
+    pub txns_per_node: u64,
+    /// RNG seed (each point derives its own stream from this).
+    pub seed: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            rates: vec![2.0, 6.0, 10.0, 15.0, 20.0, 25.0, 30.0],
+            txns_per_node: 40,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// A fast sweep for smoke-testing (three points, few transactions).
+    pub fn quick() -> Self {
+        SweepConfig {
+            rates: vec![2.0, 10.0, 25.0],
+            txns_per_node: 15,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Runs one machine configuration across the sweep's rates (in parallel)
+/// and returns the measured efficiency curve.
+pub fn sim_series(
+    label: impl Into<String>,
+    config: &MachineConfig,
+    spec_base: &SyntheticSpec,
+    sweep: &SweepConfig,
+) -> FigureSeries {
+    let mut points: Vec<(usize, FigurePoint)> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = sweep
+            .rates
+            .iter()
+            .enumerate()
+            .map(|(i, &rate)| {
+                let config = config.clone();
+                let spec = spec_base.clone().with_request_rate_per_ms(rate);
+                let seed = sweep.seed.wrapping_add(i as u64);
+                let txns = sweep.txns_per_node;
+                scope.spawn(move || {
+                    let mut machine =
+                        Machine::new(config, seed).expect("valid configuration");
+                    let report = machine.run_synthetic(&spec, txns);
+                    (
+                        i,
+                        FigurePoint {
+                            rate_per_ms: rate,
+                            efficiency: report.efficiency,
+                            rho_row: report.utilization.row_mean,
+                            rho_col: report.utilization.col_mean,
+                        },
+                    )
+                })
+            })
+            .collect();
+        for h in handles {
+            points.push(h.join().expect("sweep point panicked"));
+        }
+    });
+    points.sort_by_key(|(i, _)| *i);
+    FigureSeries {
+        label: label.into(),
+        points: points.into_iter().map(|(_, p)| p).collect(),
+    }
+}
+
+/// Figure 2 (simulated): efficiency vs. request rate for the given grid
+/// sides (paper: 8, 16, 24, 32).
+pub fn sim_figure2(ns: &[u32], sweep: &SweepConfig) -> Vec<FigureSeries> {
+    ns.iter()
+        .map(|&n| {
+            let config = MachineConfig::grid(n).expect("valid n");
+            sim_series(format!("n={n}"), &config, &SyntheticSpec::default(), sweep)
+        })
+        .collect()
+}
+
+/// Figure 3 (simulated): the invalidation sweep on an `n x n` machine.
+///
+/// Runs with the machine's *broadcast sharing filter* enabled so the
+/// invalidation fan-out only happens when shared copies exist — matching
+/// the accounting of the paper's analytical model, whose Figure 3 knob is
+/// "the probability that an invalidation operation is required". With the
+/// faithful protocol (filter off) the fan-out always happens and the
+/// curves coincide; `figures -- fig3` documents both.
+pub fn sim_figure3(invals: &[f64], n: u32, sweep: &SweepConfig) -> Vec<FigureSeries> {
+    invals
+        .iter()
+        .map(|&i| {
+            let config = MachineConfig::grid(n)
+                .expect("valid n")
+                .with_broadcast_filter(true);
+            let spec = SyntheticSpec::default().with_p_invalidation(i);
+            sim_series(format!("inval={:.0}%", i * 100.0), &config, &spec, sweep)
+        })
+        .collect()
+}
+
+/// Figure 4 (simulated): the block-size sweep on an `n x n` machine.
+pub fn sim_figure4(blocks: &[u32], n: u32, sweep: &SweepConfig) -> Vec<FigureSeries> {
+    blocks
+        .iter()
+        .map(|&b| {
+            let config = MachineConfig::grid(n).expect("valid n").with_block_words(b);
+            sim_series(
+                format!("block={b}"),
+                &config,
+                &SyntheticSpec::default(),
+                sweep,
+            )
+        })
+        .collect()
+}
+
+/// E-5.1 (simulated): the §5 latency-reduction modes implemented by the
+/// machine (store-and-forward, requested-word-first, pieces).
+pub fn sim_latency_modes(n: u32, sweep: &SweepConfig) -> Vec<FigureSeries> {
+    [
+        ("store-and-forward", LatencyMode::StoreAndForward),
+        ("word-first", LatencyMode::RequestedWordFirst),
+        ("pieces(4)", LatencyMode::Pieces { words: 4 }),
+    ]
+    .iter()
+    .map(|(label, mode)| {
+        let config = MachineConfig::grid(n)
+            .expect("valid n")
+            .with_latency_mode(*mode);
+        sim_series(*label, &config, &SyntheticSpec::default(), sweep)
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SweepConfig {
+        SweepConfig {
+            rates: vec![5.0, 25.0],
+            txns_per_node: 10,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn sim_figure2_produces_ordered_points() {
+        let series = sim_figure2(&[4], &tiny());
+        assert_eq!(series.len(), 1);
+        let pts = &series[0].points;
+        assert_eq!(pts.len(), 2);
+        assert!(pts[0].rate_per_ms < pts[1].rate_per_ms);
+        assert!(pts[0].efficiency >= pts[1].efficiency);
+    }
+
+    #[test]
+    fn sim_figure3_labels_follow_invals() {
+        let series = sim_figure3(&[0.1, 0.5], 4, &tiny());
+        assert_eq!(series[0].label, "inval=10%");
+        assert_eq!(series[1].label, "inval=50%");
+    }
+
+    #[test]
+    fn sim_figure4_bigger_blocks_cost_more_utilization() {
+        let series = sim_figure4(&[4, 64], 4, &tiny());
+        let small_tail = series[0].points.last().unwrap();
+        let large_tail = series[1].points.last().unwrap();
+        assert!(large_tail.rho_row >= small_tail.rho_row);
+    }
+
+    #[test]
+    fn sim_latency_modes_run() {
+        let series = sim_latency_modes(4, &tiny());
+        assert_eq!(series.len(), 3);
+    }
+}

@@ -1,0 +1,241 @@
+//! A FIFO-arbitrated broadcast bus.
+//!
+//! Each bus serves one operation at a time; queued operations start in
+//! strict FIFO order (the paper's queueing assumption). The machine owns
+//! the event queue, so the bus only does resource bookkeeping: it reports
+//! when an enqueued operation starts and the machine schedules the
+//! completion event.
+
+use multicube_sim::stats::{BusyTracker, Counter};
+use multicube_sim::SimTime;
+use multicube_topology::BusId;
+use std::collections::VecDeque;
+
+use crate::proto::BusOp;
+
+/// One bus: a single-server FIFO queue over broadcast operations.
+///
+/// # Example
+///
+/// ```
+/// use multicube::bus::Bus;
+/// use multicube::proto::{BusOp, OpKind, TxnId};
+/// use multicube_mem::LineAddr;
+/// use multicube_sim::SimTime;
+/// use multicube_topology::{BusId, NodeId};
+///
+/// let mut bus = Bus::new(BusId::row(0));
+/// let op = BusOp::new(OpKind::ReadRowRequest, LineAddr::new(1), NodeId::new(0), TxnId(1));
+/// // Idle bus: the op starts immediately and completes 50ns later.
+/// let done = bus.enqueue(op, 50, SimTime::ZERO).unwrap();
+/// assert_eq!(done, SimTime::from_nanos(50));
+/// let (finished, next) = bus.complete(done);
+/// assert_eq!(finished.kind, OpKind::ReadRowRequest);
+/// assert!(next.is_none());
+/// ```
+#[derive(Debug)]
+pub struct Bus {
+    id: BusId,
+    queue: VecDeque<(BusOp, u64)>,
+    in_flight: Option<(BusOp, SimTime)>,
+    busy: BusyTracker,
+    ops: Counter,
+    data_ops: Counter,
+    queued_high_water: usize,
+}
+
+impl Bus {
+    /// Creates an idle bus.
+    pub fn new(id: BusId) -> Self {
+        Bus {
+            id,
+            queue: VecDeque::new(),
+            in_flight: None,
+            busy: BusyTracker::new(),
+            ops: Counter::new(),
+            data_ops: Counter::new(),
+            queued_high_water: 0,
+        }
+    }
+
+    /// This bus's identity.
+    pub fn id(&self) -> BusId {
+        self.id
+    }
+
+    /// Enqueues `op` with the given bus occupancy in nanoseconds.
+    ///
+    /// Returns `Some(completion_time)` if the bus was idle and the
+    /// operation starts immediately — the caller must schedule a completion
+    /// event for that instant. Returns `None` if the operation was queued
+    /// behind others; it will start when [`Bus::complete`] retires its
+    /// predecessors.
+    pub fn enqueue(&mut self, op: BusOp, duration_ns: u64, now: SimTime) -> Option<SimTime> {
+        if self.in_flight.is_none() {
+            let done = now + duration_ns;
+            self.start(op, done, now);
+            Some(done)
+        } else {
+            self.queue.push_back((op, duration_ns));
+            self.queued_high_water = self.queued_high_water.max(self.queue.len());
+            None
+        }
+    }
+
+    fn start(&mut self, op: BusOp, done: SimTime, now: SimTime) {
+        self.busy.set_busy(now);
+        self.ops.incr();
+        if op.streams_data() {
+            self.data_ops.incr();
+        }
+        self.in_flight = Some((op, done));
+    }
+
+    /// Retires the in-flight operation at `now`, returning it together with
+    /// the completion time of the next queued operation if one starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no operation is in flight or `now` is not its completion
+    /// time — the machine's event bookkeeping must be exact.
+    pub fn complete(&mut self, now: SimTime) -> (BusOp, Option<SimTime>) {
+        let (op, done) = self.in_flight.take().expect("no operation in flight");
+        assert_eq!(done, now, "completion event fired at the wrong time");
+        match self.queue.pop_front() {
+            Some((next, dur)) => {
+                let next_done = now + dur;
+                self.start(next, next_done, now);
+                (op, Some(next_done))
+            }
+            None => {
+                self.busy.set_idle(now);
+                (op, None)
+            }
+        }
+    }
+
+    /// The operation currently occupying the bus.
+    pub fn in_flight(&self) -> Option<&BusOp> {
+        self.in_flight.as_ref().map(|(op, _)| op)
+    }
+
+    /// When the in-flight operation started (completion minus nothing the
+    /// bus tracks; exposed as its scheduled completion instant).
+    pub fn in_flight_completion(&self) -> Option<SimTime> {
+        self.in_flight.as_ref().map(|(_, done)| *done)
+    }
+
+    /// Number of operations waiting behind the in-flight one.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the bus has no work at all.
+    pub fn is_idle(&self) -> bool {
+        self.in_flight.is_none() && self.queue.is_empty()
+    }
+
+    /// Total operations ever started on this bus.
+    pub fn op_count(&self) -> u64 {
+        self.ops.get()
+    }
+
+    /// Data-streaming operations ever started.
+    pub fn data_op_count(&self) -> u64 {
+        self.data_ops.get()
+    }
+
+    /// Highest queue depth observed.
+    pub fn queue_high_water(&self) -> usize {
+        self.queued_high_water
+    }
+
+    /// Busy fraction over `[0, now]`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        self.busy.utilization(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{OpKind, TxnId};
+    use multicube_mem::LineAddr;
+    use multicube_topology::NodeId;
+
+    fn op(kind: OpKind, seq: u64) -> BusOp {
+        BusOp::new(kind, LineAddr::new(seq), NodeId::new(0), TxnId(seq))
+    }
+
+    #[test]
+    fn idle_bus_starts_immediately() {
+        let mut bus = Bus::new(BusId::row(1));
+        let done = bus.enqueue(op(OpKind::ReadRowRequest, 1), 100, SimTime::ZERO);
+        assert_eq!(done, Some(SimTime::from_nanos(100)));
+        assert!(bus.in_flight().is_some());
+        assert_eq!(bus.queue_len(), 0);
+    }
+
+    #[test]
+    fn busy_bus_queues_fifo() {
+        let mut bus = Bus::new(BusId::column(0));
+        let t0 = SimTime::ZERO;
+        let first_done = bus.enqueue(op(OpKind::ReadRowRequest, 1), 50, t0).unwrap();
+        assert!(bus.enqueue(op(OpKind::ReadRowRequest, 2), 60, t0).is_none());
+        assert!(bus.enqueue(op(OpKind::ReadRowRequest, 3), 70, t0).is_none());
+        assert_eq!(bus.queue_len(), 2);
+
+        let (f1, next) = bus.complete(first_done);
+        assert_eq!(f1.txn, TxnId(1));
+        let second_done = next.unwrap();
+        assert_eq!(second_done, SimTime::from_nanos(110));
+
+        let (f2, next) = bus.complete(second_done);
+        assert_eq!(f2.txn, TxnId(2));
+        let third_done = next.unwrap();
+        assert_eq!(third_done, SimTime::from_nanos(180));
+
+        let (f3, next) = bus.complete(third_done);
+        assert_eq!(f3.txn, TxnId(3));
+        assert!(next.is_none());
+        assert!(bus.is_idle());
+    }
+
+    #[test]
+    fn utilization_counts_only_busy_time() {
+        let mut bus = Bus::new(BusId::row(0));
+        let done = bus.enqueue(op(OpKind::ReadRowRequest, 1), 100, SimTime::ZERO).unwrap();
+        bus.complete(done);
+        // Busy [0,100), idle [100,400): 25%.
+        assert!((bus.utilization(SimTime::from_nanos(400)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_distinguish_data_ops() {
+        let mut bus = Bus::new(BusId::row(0));
+        let d1 = bus.enqueue(op(OpKind::ReadRowRequest, 1), 50, SimTime::ZERO).unwrap();
+        let mut reply = op(OpKind::ReadRowReply, 2);
+        reply.data = Some(multicube_mem::LineVersion::new(1));
+        bus.enqueue(reply, 850, SimTime::ZERO);
+        let (_, next) = bus.complete(d1);
+        bus.complete(next.unwrap());
+        assert_eq!(bus.op_count(), 2);
+        assert_eq!(bus.data_op_count(), 1);
+        assert_eq!(bus.queue_high_water(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no operation in flight")]
+    fn completing_idle_bus_panics() {
+        let mut bus = Bus::new(BusId::row(0));
+        bus.complete(SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong time")]
+    fn completing_at_wrong_time_panics() {
+        let mut bus = Bus::new(BusId::row(0));
+        bus.enqueue(op(OpKind::ReadRowRequest, 1), 50, SimTime::ZERO);
+        bus.complete(SimTime::from_nanos(49));
+    }
+}

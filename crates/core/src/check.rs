@@ -1,0 +1,275 @@
+//! Coherence-invariant checking.
+//!
+//! At a quiescent instant (no bus operations or events in flight) the
+//! machine must satisfy the global invariants implied by §3:
+//!
+//! 1. **Single writer** — at most one cache holds any line modified.
+//! 2. **No stale sharers** — a modified copy excludes shared copies.
+//! 3. **Valid-bit consistency** — memory's valid bit is set iff no cache
+//!    holds the line modified.
+//! 4. **Value integrity** — the modified copy (or memory, if unmodified)
+//!    holds the latest committed write; shared copies hold it too.
+//! 5. **MLT consistency** — every column's replicas agree and contain
+//!    exactly the lines held modified within that column.
+//! 6. **Registry consistency** — the machine's owner registry matches the
+//!    caches (internal sanity for the workload generator).
+
+use core::fmt;
+use std::collections::{HashMap, HashSet};
+
+use multicube_mem::LineAddr;
+use multicube_topology::NodeId;
+
+use crate::machine::Machine;
+use crate::node::LineMode;
+
+/// A violated coherence invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoherenceViolation {
+    /// Two caches hold the same line modified.
+    MultipleWriters {
+        /// The line concerned.
+        line: LineAddr,
+        /// The two offending nodes.
+        nodes: (NodeId, NodeId),
+    },
+    /// A modified copy coexists with shared copies.
+    ModifiedWithSharers {
+        /// The line concerned.
+        line: LineAddr,
+        /// The owner.
+        owner: NodeId,
+        /// A node holding a stale shared copy.
+        sharer: NodeId,
+    },
+    /// Memory claims validity while a cache holds the line modified, or
+    /// vice versa.
+    ValidBitMismatch {
+        /// The line concerned.
+        line: LineAddr,
+        /// Memory's valid bit.
+        memory_valid: bool,
+        /// Whether some cache holds the line modified.
+        has_owner: bool,
+    },
+    /// A copy (cache or memory) holds stale data.
+    StaleValue {
+        /// The line concerned.
+        line: LineAddr,
+        /// Description of the stale holder.
+        holder: String,
+    },
+    /// MLT replicas within a column disagree, or the table content does
+    /// not match the modified lines actually held in the column.
+    MltInconsistent {
+        /// The column concerned.
+        col: u32,
+        /// Description of the mismatch.
+        detail: String,
+    },
+    /// A processor-cache line is not present in the snooping cache (the
+    /// §2 strict-subset property is violated).
+    SubsetViolation {
+        /// The offending node.
+        node: NodeId,
+        /// The line present in L1 but absent from L2.
+        line: LineAddr,
+    },
+    /// The machine's internal owner registry diverged from the caches.
+    RegistryMismatch {
+        /// The line concerned.
+        line: LineAddr,
+        /// Description of the mismatch.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CoherenceViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoherenceViolation::MultipleWriters { line, nodes } => {
+                write!(f, "line {line:?} modified in both {} and {}", nodes.0, nodes.1)
+            }
+            CoherenceViolation::ModifiedWithSharers { line, owner, sharer } => write!(
+                f,
+                "line {line:?} modified in {owner} but shared in {sharer}"
+            ),
+            CoherenceViolation::ValidBitMismatch {
+                line,
+                memory_valid,
+                has_owner,
+            } => write!(
+                f,
+                "line {line:?}: memory valid={memory_valid} but owner present={has_owner}"
+            ),
+            CoherenceViolation::StaleValue { line, holder } => {
+                write!(f, "line {line:?}: stale value at {holder}")
+            }
+            CoherenceViolation::MltInconsistent { col, detail } => {
+                write!(f, "column {col} MLT inconsistent: {detail}")
+            }
+            CoherenceViolation::SubsetViolation { node, line } => {
+                write!(f, "{node}: L1 holds {line:?} but the snooping cache does not")
+            }
+            CoherenceViolation::RegistryMismatch { line, detail } => {
+                write!(f, "line {line:?} registry mismatch: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoherenceViolation {}
+
+/// Runs all invariant checks against a quiescent machine.
+///
+/// # Errors
+///
+/// The first violation found.
+pub fn check(m: &Machine) -> Result<(), CoherenceViolation> {
+    let n = m.side();
+    // Gather per-line cache state.
+    let mut owners: HashMap<LineAddr, NodeId> = HashMap::new();
+    let mut sharers: HashMap<LineAddr, Vec<NodeId>> = HashMap::new();
+    for node_idx in 0..(n * n) {
+        let node = NodeId::new(node_idx);
+        let ctrl = m.controller(node);
+        for (line, cl) in ctrl.cache.iter() {
+            match cl.mode {
+                LineMode::Modified => {
+                    if let Some(prev) = owners.insert(line, node) {
+                        return Err(CoherenceViolation::MultipleWriters {
+                            line,
+                            nodes: (prev, node),
+                        });
+                    }
+                }
+                LineMode::Shared => sharers.entry(line).or_default().push(node),
+                LineMode::Reserved => {}
+            }
+        }
+    }
+
+    // 2. Modified excludes shared.
+    for (&line, &owner) in &owners {
+        if let Some(sh) = sharers.get(&line) {
+            if let Some(&sharer) = sh.first() {
+                return Err(CoherenceViolation::ModifiedWithSharers { line, owner, sharer });
+            }
+        }
+    }
+
+    // 3+4. Valid bit and value integrity over every line any structure knows.
+    let mut lines: HashSet<LineAddr> = HashSet::new();
+    lines.extend(owners.keys().copied());
+    lines.extend(sharers.keys().copied());
+    for col in 0..n {
+        for (line, _, _) in m.memory(col).touched_lines() {
+            lines.insert(line);
+        }
+    }
+    for line in lines {
+        let col = m.home_column(line);
+        let memory_valid = m.memory(col).is_valid(&line);
+        let has_owner = owners.contains_key(&line);
+        if memory_valid == has_owner {
+            return Err(CoherenceViolation::ValidBitMismatch {
+                line,
+                memory_valid,
+                has_owner,
+            });
+        }
+        let latest = m.committed_version(line);
+        if let Some(&owner) = owners.get(&line) {
+            let held = m.controller(owner).data_of(&line);
+            if held != Some(latest) {
+                return Err(CoherenceViolation::StaleValue {
+                    line,
+                    holder: format!("owner {owner} holds {held:?}, expected {latest:?}"),
+                });
+            }
+        } else {
+            if m.memory(col).peek(&line) != latest {
+                return Err(CoherenceViolation::StaleValue {
+                    line,
+                    holder: format!("memory column {col}"),
+                });
+            }
+            for sharer in sharers.get(&line).into_iter().flatten() {
+                let held = m.controller(*sharer).data_of(&line);
+                if held != Some(latest) {
+                    return Err(CoherenceViolation::StaleValue {
+                        line,
+                        holder: format!("sharer {sharer} holds {held:?}, expected {latest:?}"),
+                    });
+                }
+            }
+        }
+    }
+
+    // 5. MLT replicas agree and match reality per column.
+    for col in 0..n {
+        let mut reference: Option<Vec<LineAddr>> = None;
+        for row in 0..n {
+            let node = NodeId::new(row * n + col);
+            let entries: Vec<LineAddr> = m.controller(node).mlt.iter().copied().collect();
+            match &reference {
+                None => reference = Some(entries),
+                Some(r) => {
+                    if *r != entries {
+                        return Err(CoherenceViolation::MltInconsistent {
+                            col,
+                            detail: format!("replica at {node} diverges"),
+                        });
+                    }
+                }
+            }
+        }
+        let table: HashSet<LineAddr> = reference.unwrap_or_default().into_iter().collect();
+        let actual: HashSet<LineAddr> = owners
+            .iter()
+            .filter(|(_, node)| node.index() % n == col)
+            .map(|(line, _)| *line)
+            .collect();
+        if table != actual {
+            return Err(CoherenceViolation::MltInconsistent {
+                col,
+                detail: format!(
+                    "table has {} entries, column holds {} modified lines",
+                    table.len(),
+                    actual.len()
+                ),
+            });
+        }
+    }
+
+    // 6. Processor-cache subset property (§2).
+    for node_idx in 0..(n * n) {
+        let node = NodeId::new(node_idx);
+        let ctrl = m.controller(node);
+        if let Some(l1) = ctrl.proc_cache.as_ref() {
+            for (line, _) in l1.iter() {
+                if !ctrl.cache.contains(&line) {
+                    return Err(CoherenceViolation::SubsetViolation { node, line });
+                }
+            }
+        }
+    }
+
+    // 7. Registry sanity.
+    for (&line, &node) in &owners {
+        if m.registry_owner(line) != Some(node) {
+            return Err(CoherenceViolation::RegistryMismatch {
+                line,
+                detail: format!("cache owner {node} not in registry"),
+            });
+        }
+    }
+    if let Some((line, node)) = m.registry_entries().find(|(l, _)| !owners.contains_key(l)) {
+        return Err(CoherenceViolation::RegistryMismatch {
+            line,
+            detail: format!("registry claims {node} but no cache holds it modified"),
+        });
+    }
+
+    Ok(())
+}

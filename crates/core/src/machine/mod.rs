@@ -1,0 +1,1158 @@
+//! The machine: event loop, bus plumbing, and the protocol engine.
+//!
+//! The protocol procedures of Appendix A are implemented in the submodules
+//! ([`read` handlers](self), READ-MOD, WRITE-BACK and test-and-set), one
+//! Rust function per formal procedure, dispatched from the single event
+//! loop here. All state mutation happens at bus-operation completion
+//! instants, mirroring the paper's "on a bus operation, all nodes on the
+//! bus ... execute the appropriate procedure".
+
+mod readmod;
+mod readops;
+mod start;
+mod synthetic;
+mod tas;
+mod writeback;
+
+use std::collections::{HashMap, VecDeque};
+
+use multicube_mem::{LineAddr, LineGeometry, LineVersion, MemoryBank};
+use multicube_sim::{DeterministicRng, EventQueue, SimDuration, SimTime};
+use multicube_topology::NodeId;
+
+use crate::bus::Bus;
+use crate::check::{self, CoherenceViolation};
+use crate::config::{LatencyMode, MachineConfig, MachineConfigError};
+use crate::driver::{Request, RequestKind, SyntheticSpec};
+use crate::metrics::{MachineMetrics, RunReport, Served};
+use crate::node::{Controller, LineMode};
+use crate::proto::{BusOp, OpClass, OpKind, Piece, TxnId};
+
+pub(crate) use synthetic::SyntheticState;
+
+/// A completed processor transaction, as reported by [`Machine::advance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The node whose transaction completed.
+    pub node: NodeId,
+    /// The transaction id.
+    pub txn: TxnId,
+    /// The request kind.
+    pub kind: RequestKind,
+    /// The line concerned.
+    pub line: LineAddr,
+    /// Test-and-set outcome (`true` for every other kind).
+    pub success: bool,
+    /// End-to-end latency.
+    pub latency: SimDuration,
+    /// Completion instant.
+    pub at: SimTime,
+}
+
+/// Error from [`Machine::submit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The node already has an outstanding transaction (requests are
+    /// non-overlapping).
+    Busy,
+}
+
+impl core::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SubmitError::Busy => write!(f, "node already has an outstanding transaction"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Events driving the machine.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Event {
+    /// The in-flight operation on bus `slot` completed.
+    BusComplete { slot: usize },
+    /// A delayed emission (cache/memory access latency elapsed).
+    Emit { slot: usize, op: BusOp },
+    /// A processor issues a request (`None` = generate from the synthetic
+    /// workload spec).
+    Issue {
+        node: NodeId,
+        request: Option<Request>,
+    },
+    /// A local (bus-free) access finished its cache latency.
+    LocalDone { node: NodeId },
+    /// Requested-word-first early unblock of the originator.
+    EarlyComplete {
+        node: NodeId,
+        txn: TxnId,
+        data: Option<LineVersion>,
+    },
+}
+
+/// Per-transaction bookkeeping (instrumentation plus idempotence guards).
+#[derive(Debug, Clone)]
+pub(crate) struct TxnInfo {
+    pub node: NodeId,
+    pub kind: RequestKind,
+    pub line: LineAddr,
+    pub start: SimTime,
+    pub bus_ops: u32,
+    pub row_ops: u32,
+    pub col_ops: u32,
+    pub retries: u32,
+    pub served: Served,
+    /// The originator's cache write has been applied (early-unblock guard).
+    pub installed: bool,
+    /// A purge for this line swept past while the read reply was in
+    /// flight: the reply data is stale and must be discarded and the
+    /// request retried (see `poison_readers`).
+    pub poisoned: bool,
+    /// Fill the processor cache on completion (word-level accesses).
+    pub fill_l1: bool,
+    /// The transaction has completed.
+    pub done: bool,
+}
+
+/// A simulated Wisconsin Multicube.
+///
+/// Drive it either with the closed-loop synthetic workload
+/// ([`Machine::run_synthetic`]) or transaction by transaction
+/// ([`Machine::submit`] / [`Machine::advance`]) — the latter is how the
+/// synchronization and application layers are built.
+///
+/// # Example
+///
+/// ```
+/// use multicube::{Machine, MachineConfig, Request};
+/// use multicube_mem::LineAddr;
+/// use multicube_topology::NodeId;
+///
+/// let mut m = Machine::new(MachineConfig::grid(2).unwrap(), 7).unwrap();
+/// let writer = NodeId::new(0);
+/// m.submit(writer, Request::write(LineAddr::new(4))).unwrap();
+/// let done = m.advance().expect("write completes");
+/// assert_eq!(done.node, writer);
+///
+/// // The other corner of the grid reads it back.
+/// let reader = NodeId::new(3);
+/// m.submit(reader, Request::read(LineAddr::new(4))).unwrap();
+/// let done = m.advance().expect("read completes");
+/// assert!(done.latency.as_nanos() > 0);
+/// m.check_coherence().unwrap();
+/// ```
+#[derive(Debug)]
+pub struct Machine {
+    pub(crate) config: MachineConfig,
+    pub(crate) geom: LineGeometry,
+    pub(crate) n: u32,
+    pub(crate) events: EventQueue<Event>,
+    /// Buses: slots `0..n` are row buses, `n..2n` are column buses.
+    pub(crate) buses: Vec<Bus>,
+    pub(crate) controllers: Vec<Controller>,
+    /// One memory bank per column.
+    pub(crate) memories: Vec<MemoryBank>,
+    pub(crate) rng: DeterministicRng,
+    txn_seq: u64,
+    version_seq: u64,
+    pub(crate) txns: HashMap<TxnId, TxnInfo>,
+    /// Which cache (if any) holds each line modified.
+    pub(crate) owner: HashMap<LineAddr, NodeId>,
+    /// Sampling support: all currently owned lines.
+    pub(crate) owned_list: Vec<LineAddr>,
+    owned_pos: HashMap<LineAddr, usize>,
+    /// Number of caches holding each line shared.
+    pub(crate) sharers: HashMap<LineAddr, u32>,
+    /// Latest committed write per line (value-integrity checking).
+    pub(crate) committed: HashMap<LineAddr, LineVersion>,
+    /// The designated synchronization word of each line (§4).
+    pub(crate) sync_words: HashMap<LineAddr, u64>,
+    pub(crate) metrics: MachineMetrics,
+    completions: VecDeque<Completion>,
+    pub(crate) synthetic: Option<SyntheticState>,
+}
+
+impl Machine {
+    /// Builds a machine from a validated configuration and an RNG seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the configuration's validation error, if any.
+    pub fn new(config: MachineConfig, seed: u64) -> Result<Self, MachineConfigError> {
+        let geom = config.validate()?;
+        let grid = config.topology().clone();
+        let n = grid.side();
+        let buses = (0..n)
+            .map(multicube_topology::BusId::row)
+            .chain((0..n).map(multicube_topology::BusId::column))
+            .map(Bus::new)
+            .collect();
+        let controllers = grid
+            .nodes()
+            .map(|node| {
+                Controller::new(
+                    node,
+                    grid.row_of(node),
+                    grid.col_of(node),
+                    config.snoop_cache(),
+                    config.processor_cache(),
+                    config.mlt_capacity(),
+                )
+            })
+            .collect();
+        let memories = (0..n).map(|_| MemoryBank::new()).collect();
+        Ok(Machine {
+            geom,
+            n,
+            events: EventQueue::new(),
+            buses,
+            controllers,
+            memories,
+            rng: DeterministicRng::seed(seed),
+            txn_seq: 0,
+            version_seq: 0,
+            txns: HashMap::new(),
+            owner: HashMap::new(),
+            owned_list: Vec::new(),
+            owned_pos: HashMap::new(),
+            sharers: HashMap::new(),
+            committed: HashMap::new(),
+            sync_words: HashMap::new(),
+            metrics: MachineMetrics::default(),
+            completions: VecDeque::new(),
+            synthetic: None,
+            config,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Public API
+    // ------------------------------------------------------------------
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.events.now()
+    }
+
+    /// Grid side `n`.
+    pub fn side(&self) -> u32 {
+        self.n
+    }
+
+    /// The word-to-line geometry implied by the block size.
+    pub fn line_geometry(&self) -> multicube_mem::LineGeometry {
+        self.geom
+    }
+
+    /// Accumulated metrics.
+    pub fn metrics(&self) -> &MachineMetrics {
+        &self.metrics
+    }
+
+    /// Total (row, column) bus operations started so far.
+    pub fn bus_op_totals(&self) -> (u64, u64) {
+        let n = self.n as usize;
+        let row = self.buses[..n].iter().map(|b| b.op_count()).sum();
+        let col = self.buses[n..].iter().map(|b| b.op_count()).sum();
+        (row, col)
+    }
+
+    /// The controller of `node` (inspection/testing).
+    pub fn controller(&self, node: NodeId) -> &Controller {
+        &self.controllers[node.as_usize()]
+    }
+
+    /// The memory bank of column `col`.
+    pub fn memory(&self, col: u32) -> &MemoryBank {
+        &self.memories[col as usize]
+    }
+
+    /// The bus at `slot` (`0..n` are row buses, `n..2n` column buses).
+    pub fn bus(&self, slot: usize) -> &crate::bus::Bus {
+        &self.buses[slot]
+    }
+
+    /// The home column of `line`.
+    pub fn home_column(&self, line: LineAddr) -> u32 {
+        self.config.topology().home_column(line.index())
+    }
+
+    /// The latest committed write version of `line` (INITIAL if unwritten).
+    pub fn committed_version(&self, line: LineAddr) -> LineVersion {
+        self.committed
+            .get(&line)
+            .copied()
+            .unwrap_or(LineVersion::INITIAL)
+    }
+
+    /// Reads `line`'s synchronization word (the §4 designated word).
+    pub fn sync_word(&self, line: LineAddr) -> u64 {
+        self.sync_words.get(&line).copied().unwrap_or(0)
+    }
+
+    /// Writes `line`'s synchronization word from `node`, which must hold
+    /// the line modified (a local write to an owned line; no bus traffic).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(())`-like [`SubmitError::Busy`]? No — returns `false`
+    /// when the node does not hold the line modified; the caller must
+    /// acquire ownership first (e.g. with a write request).
+    pub fn write_sync_word(&mut self, node: NodeId, line: LineAddr, value: u64) -> bool {
+        let holds = self.controllers[node.as_usize()].mode_of(&line) == Some(LineMode::Modified);
+        if !holds {
+            return false;
+        }
+        self.sync_words.insert(line, value);
+        let v = self.next_version(line);
+        if let Some(cl) = self.controllers[node.as_usize()].cache.peek_mut(&line) {
+            cl.data = v;
+        }
+        true
+    }
+
+    /// Submits a request for `node`, which must be idle.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Busy`] if the node has an outstanding transaction.
+    pub fn submit(&mut self, node: NodeId, request: Request) -> Result<TxnId, SubmitError> {
+        if self.controllers[node.as_usize()].outstanding().is_some() {
+            return Err(SubmitError::Busy);
+        }
+        Ok(self.start_request(node, request))
+    }
+
+    /// Submits a *word-level* access through the two-level cache
+    /// hierarchy (§2): a read that hits the processor cache completes
+    /// after the (small) L1 latency with no snooping-cache involvement;
+    /// everything else goes through the snooping cache and, on a miss, the
+    /// bus protocol. Writes are written through — they always reach the
+    /// snooping cache, which must hold the line modified. The processor
+    /// cache is filled on completion and remains a strict subset of the
+    /// snooping cache.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Busy`] if the node has an outstanding transaction.
+    pub fn submit_word(
+        &mut self,
+        node: NodeId,
+        word: multicube_mem::WordAddr,
+        is_write: bool,
+    ) -> Result<TxnId, SubmitError> {
+        if self.controllers[node.as_usize()].outstanding().is_some() {
+            return Err(SubmitError::Busy);
+        }
+        let line = self.geom.line_of(word);
+        let kind = if is_write {
+            RequestKind::Write
+        } else {
+            RequestKind::Read
+        };
+        // L1 read hit: bus-free, snoop-cache-free.
+        if !is_write && self.controllers[node.as_usize()].l1_contains(&line) {
+            let txn = self.new_txn(node, Request::new(kind, line));
+            self.metrics.l1_hits.incr();
+            // Touch the snooping-cache copy for LRU realism.
+            self.controllers[node.as_usize()].cache.get(&line);
+            let out = crate::node::Outstanding {
+                txn,
+                kind,
+                line,
+                issued_at: self.now(),
+                phase: crate::node::TxnPhase::Local,
+                retries: 0,
+                bus_ops: 0,
+                victim: None,
+            };
+            self.controllers[node.as_usize()].outstanding = Some(out);
+            let delay = self.config.processor_latency_ns();
+            self.events.schedule_after(delay, Event::LocalDone { node });
+            return Ok(txn);
+        }
+        let txn = self.start_request(node, Request::new(kind, line));
+        if let Some(info) = self.txns.get_mut(&txn) {
+            info.fill_l1 = true;
+        }
+        Ok(txn)
+    }
+
+    /// Schedules a request to be issued at absolute time `at` (must not be
+    /// in the past). The node must be idle when the instant arrives.
+    pub fn submit_at(&mut self, node: NodeId, request: Request, at: SimTime) {
+        self.events.schedule(
+            at,
+            Event::Issue {
+                node,
+                request: Some(request),
+            },
+        );
+    }
+
+    /// Processes events until a transaction completes, returning it;
+    /// `None` when the machine goes quiescent first.
+    pub fn advance(&mut self) -> Option<Completion> {
+        loop {
+            if let Some(done) = self.completions.pop_front() {
+                return Some(done);
+            }
+            let (_, ev) = self.events.pop()?;
+            self.handle(ev);
+        }
+    }
+
+    /// Runs until no events remain, collecting every completion.
+    pub fn run_to_quiescence(&mut self) -> Vec<Completion> {
+        let mut out: Vec<Completion> = self.completions.drain(..).collect();
+        while let Some((_, ev)) = self.events.pop() {
+            self.handle(ev);
+            out.extend(self.completions.drain(..));
+        }
+        out
+    }
+
+    /// Verifies the coherence invariants; call at quiescence.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant.
+    pub fn check_coherence(&self) -> Result<(), CoherenceViolation> {
+        check::check(self)
+    }
+
+    /// Runs the closed-loop synthetic workload: every processor issues
+    /// `txns_per_node` blocking requests drawn from `spec`, separated by
+    /// exponential think times. Returns the run report; panics on a
+    /// coherence violation when checking is enabled.
+    pub fn run_synthetic(&mut self, spec: &SyntheticSpec, txns_per_node: u64) -> RunReport {
+        self.run_synthetic_inner(spec, txns_per_node)
+    }
+
+    // ------------------------------------------------------------------
+    // Event dispatch
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::BusComplete { slot } => self.on_bus_complete(slot),
+            Event::Emit { slot, op } => self.enqueue_now(slot, op),
+            Event::Issue { node, request } => self.on_issue(node, request),
+            Event::LocalDone { node } => self.on_local_done(node),
+            Event::EarlyComplete { node, txn, data } => {
+                self.install_and_finish(node, txn, data, true, false)
+            }
+        }
+    }
+
+    fn on_bus_complete(&mut self, slot: usize) {
+        let now = self.now();
+        let (op, next_done) = self.buses[slot].complete(now);
+        if let Some(done) = next_done {
+            self.events.schedule(done, Event::BusComplete { slot });
+            if let Some(started) = self.buses[slot].in_flight().copied() {
+                self.op_started(slot, &started, now);
+            }
+        }
+        // Split transfers: only the final piece triggers the procedure.
+        if let Some(p) = op.piece {
+            if !p.is_last() {
+                if p.index == 0 {
+                    self.maybe_piece_unblock(slot, &op);
+                }
+                let next = BusOp {
+                    piece: Some(Piece {
+                        index: p.index + 1,
+                        of: p.of,
+                    }),
+                    ..op
+                };
+                self.note_op(&next);
+                self.enqueue_now(slot, next);
+                return;
+            }
+        }
+        self.dispatch(slot, op);
+    }
+
+    fn dispatch(&mut self, slot: usize, op: BusOp) {
+        use OpKind::*;
+        if std::env::var_os("MULTICUBE_TRACE").is_some() {
+            eprintln!(
+                "[{}] {} {} {:?} orig={} {} data={:?}",
+                self.now(),
+                self.buses[slot].id(),
+                op.kind.name(),
+                op.line,
+                op.originator,
+                op.txn,
+                op.data
+            );
+        }
+        match op.kind {
+            ReadRowRequest => self.on_read_row_request(slot, op),
+            ReadColRequestRemove => self.on_read_col_request_remove(slot, op),
+            ReadColRequestMemory => self.on_read_col_request_memory(slot, op),
+            ReadColReplyUpdate => self.on_read_col_reply_update(slot, op),
+            ReadColReplyUpdateMemory => self.on_read_col_reply_update_memory(slot, op),
+            ReadColReplyNoPurge => self.on_read_col_reply_nopurge(slot, op),
+            ReadRowReply => self.on_read_row_reply(slot, op),
+            ReadRowReplyUpdate => self.on_read_row_reply_update(slot, op),
+            ReadModRowRequest => self.on_readmod_row_request(slot, op),
+            ReadModColRequestRemove => self.on_readmod_col_request_remove(slot, op),
+            ReadModColRequestMemory => self.on_readmod_col_request_memory(slot, op),
+            ReadModRowReply => self.on_readmod_row_reply(slot, op),
+            ReadModColReplyPurge => self.on_readmod_col_reply_purge(slot, op),
+            ReadModColReplyInsert => self.on_readmod_col_reply_insert(slot, op),
+            ReadModRowReplyPurge => self.on_readmod_row_reply_purge(slot, op),
+            ReadModRowPurge => self.on_readmod_row_purge(slot, op),
+            ReadModColInsert => self.on_readmod_col_insert(slot, op),
+            WritebackColRemove => self.on_writeback_col_remove(slot, op),
+            WritebackRowUpdate => self.on_writeback_row_update(slot, op),
+            WritebackColUpdateMemory => self.on_writeback_col_update_memory(slot, op),
+            TasRowRequest => self.on_tas_row_request(slot, op),
+            TasColRequest => self.on_tas_col_request(slot, op),
+            TasColRequestMemory => self.on_tas_col_request_memory(slot, op),
+            TasRowFail => self.on_tas_row_fail(slot, op),
+            TasColFail => self.on_tas_col_fail(slot, op),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Topology helpers
+    // ------------------------------------------------------------------
+
+    /// Slot of row bus `row`.
+    pub(crate) fn row_slot(&self, row: u32) -> usize {
+        row as usize
+    }
+
+    /// Slot of column bus `col`.
+    pub(crate) fn col_slot(&self, col: u32) -> usize {
+        (self.n + col) as usize
+    }
+
+    /// The row index a row slot refers to.
+    pub(crate) fn slot_row(&self, slot: usize) -> u32 {
+        debug_assert!(slot < self.n as usize);
+        slot as u32
+    }
+
+    /// The column index a column slot refers to.
+    pub(crate) fn slot_col(&self, slot: usize) -> u32 {
+        debug_assert!(slot >= self.n as usize);
+        slot as u32 - self.n
+    }
+
+    /// Node id at grid position.
+    pub(crate) fn node_at(&self, row: u32, col: u32) -> NodeId {
+        self.config.topology().node(row, col)
+    }
+
+    /// Node indices on row `row`.
+    pub(crate) fn row_nodes(&self, row: u32) -> impl Iterator<Item = usize> + '_ {
+        let n = self.n;
+        (0..n).map(move |c| (row * n + c) as usize)
+    }
+
+    /// Node indices on column `col`.
+    pub(crate) fn col_nodes(&self, col: u32) -> impl Iterator<Item = usize> + '_ {
+        let n = self.n;
+        (0..n).map(move |r| (r * n + col) as usize)
+    }
+
+    /// The row of the transaction originator.
+    pub(crate) fn origin_row(&self, op: &BusOp) -> u32 {
+        self.config.topology().row_of(op.originator)
+    }
+
+    /// The column of the transaction originator.
+    pub(crate) fn origin_col(&self, op: &BusOp) -> u32 {
+        self.config.topology().col_of(op.originator)
+    }
+
+    // ------------------------------------------------------------------
+    // Registry maintenance (owner / sharer tracking)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn registry_set_owner(&mut self, line: LineAddr, node: NodeId) {
+        if let Some(prev) = self.owner.insert(line, node) {
+            let _ = prev;
+        } else {
+            self.owned_pos.insert(line, self.owned_list.len());
+            self.owned_list.push(line);
+        }
+    }
+
+    pub(crate) fn registry_clear_owner(&mut self, line: LineAddr) {
+        if self.owner.remove(&line).is_some() {
+            if let Some(pos) = self.owned_pos.remove(&line) {
+                let last = self.owned_list.len() - 1;
+                self.owned_list.swap(pos, last);
+                self.owned_list.pop();
+                if pos < self.owned_list.len() {
+                    self.owned_pos.insert(self.owned_list[pos], pos);
+                }
+            }
+        }
+    }
+
+    /// The cache currently recorded as holding `line` modified.
+    pub(crate) fn registry_owner(&self, line: LineAddr) -> Option<NodeId> {
+        self.owner.get(&line).copied()
+    }
+
+    /// All registry entries (line, owner).
+    pub(crate) fn registry_entries(&self) -> impl Iterator<Item = (LineAddr, NodeId)> + '_ {
+        self.owner.iter().map(|(l, n)| (*l, *n))
+    }
+
+    fn sharers_incr(&mut self, line: LineAddr) {
+        *self.sharers.entry(line).or_insert(0) += 1;
+    }
+
+    fn sharers_decr(&mut self, line: LineAddr) {
+        if let Some(c) = self.sharers.get_mut(&line) {
+            *c = c.saturating_sub(1);
+            if *c == 0 {
+                self.sharers.remove(&line);
+            }
+        }
+    }
+
+    /// Number of caches holding `line` shared.
+    pub(crate) fn sharer_count(&self, line: LineAddr) -> u32 {
+        self.sharers.get(&line).copied().unwrap_or(0)
+    }
+
+    /// Whether any node other than `except` has an outstanding transaction
+    /// on `line` (a reply in flight could install a shared copy). Used by
+    /// the broadcast sharing-filter ablation to stay conservative.
+    pub(crate) fn line_has_inflight_interest(
+        &self,
+        line: LineAddr,
+        except: NodeId,
+    ) -> bool {
+        self.controllers.iter().any(|c| {
+            c.node() != except
+                && c.outstanding()
+                    .map(|o| o.line == line)
+                    .unwrap_or(false)
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Cache mutation helpers (keep the registries consistent)
+    // ------------------------------------------------------------------
+
+    /// Installs or updates a line in a node's cache with full registry
+    /// bookkeeping. Panics if an eviction of a *modified* victim would be
+    /// required (the protocol reserves space before requesting).
+    pub(crate) fn set_line(
+        &mut self,
+        node_idx: usize,
+        line: LineAddr,
+        mode: LineMode,
+        data: LineVersion,
+    ) {
+        let node = self.controllers[node_idx].node();
+        let prior = self.controllers[node_idx].mode_of(&line);
+        // Registry out-transitions for the prior mode.
+        match prior {
+            Some(LineMode::Shared) => self.sharers_decr(line),
+            Some(LineMode::Modified) => self.registry_clear_owner(line),
+            _ => {}
+        }
+        let evicted = self.controllers[node_idx].cache.insert(
+            line,
+            crate::node::CacheLine { mode, data },
+        );
+        if let Some(ev) = evicted {
+            assert!(
+                ev.meta.mode != LineMode::Modified,
+                "protocol bug: unreserved eviction of a modified line {:?} at {node}",
+                ev.line
+            );
+            if ev.meta.mode == LineMode::Shared {
+                self.sharers_decr(ev.line);
+            }
+            self.controllers[node_idx].note_recent(ev.line);
+            if let Some(l1) = self.controllers[node_idx].proc_cache.as_mut() {
+                l1.remove(&ev.line);
+            }
+        }
+        self.controllers[node_idx].forget_recent(&line);
+        match mode {
+            LineMode::Shared => self.sharers_incr(line),
+            LineMode::Modified => self.registry_set_owner(line, node),
+            LineMode::Reserved => {}
+        }
+    }
+
+    /// Removes a line from a node's cache (purge or eviction), updating
+    /// registries and recording snarf recency.
+    pub(crate) fn clear_line(&mut self, node_idx: usize, line: LineAddr) -> Option<LineMode> {
+        let prior = self.controllers[node_idx].purge(&line)?;
+        match prior.mode {
+            LineMode::Shared => self.sharers_decr(line),
+            LineMode::Modified => self.registry_clear_owner(line),
+            LineMode::Reserved => {}
+        }
+        Some(prior.mode)
+    }
+
+    /// Downgrades a node's modified line to shared (it supplied the data).
+    pub(crate) fn downgrade_to_shared(&mut self, node_idx: usize, line: LineAddr) {
+        self.registry_clear_owner(line);
+        if let Some(cl) = self.controllers[node_idx].cache.peek_mut(&line) {
+            debug_assert_eq!(cl.mode, LineMode::Modified);
+            cl.mode = LineMode::Shared;
+        }
+        self.sharers_incr(line);
+    }
+
+    /// Mints the version for a new write to `line` and commits it.
+    pub(crate) fn next_version(&mut self, line: LineAddr) -> LineVersion {
+        self.version_seq += 1;
+        let v = LineVersion::new(self.version_seq);
+        self.committed.insert(line, v);
+        v
+    }
+
+    /// Verifies that carried data matches the latest committed write.
+    pub(crate) fn verify_carried(&self, op: &BusOp) {
+        if !self.config.checking() || op.allocate {
+            return;
+        }
+        // Under requested-word-first / pieces modes, the originator's write
+        // may already have committed before the full block finishes its
+        // final bus operation; the carried (pre-write) data is then
+        // legitimately older than the committed version.
+        if let Some(info) = self.txns.get(&op.txn) {
+            if info.installed && info.kind != crate::driver::RequestKind::Read {
+                return;
+            }
+        }
+        if let Some(data) = op.data {
+            // Delivered data may legitimately be *older* than the latest
+            // committed write while a purge is still in flight behind the
+            // reply — the paper's machine "does not guarantee complete
+            // serializability" (§4). It must never be newer than any
+            // committed write, and the quiescent checker verifies that all
+            // stale copies are gone once the purges land.
+            let expect = self.committed_version(op.line);
+            assert!(
+                data.stamp() <= expect.stamp(),
+                "data from the future delivered for {:?} by {} (carried {:?}, committed {:?})",
+                op.line,
+                op.kind.name(),
+                data,
+                expect
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Emission and bus plumbing
+    // ------------------------------------------------------------------
+
+    /// Emits `op` on bus `slot` after `delay_ns` (access latency of the
+    /// supplier; zero for forwards).
+    pub(crate) fn emit(&mut self, slot: usize, mut op: BusOp, delay_ns: u64) {
+        // Split data transfers into pieces if configured.
+        if op.streams_data() && op.piece.is_none() {
+            if let LatencyMode::Pieces { words } = self.config.latency_mode() {
+                let words = words.clamp(1, self.config.block_words());
+                let count = self.config.block_words().div_ceil(words);
+                if count > 1 {
+                    op.piece = Some(Piece { index: 0, of: count });
+                }
+            }
+        }
+        self.note_op(&op);
+        if delay_ns == 0 {
+            self.enqueue_now(slot, op);
+        } else {
+            self.events.schedule_after(delay_ns, Event::Emit { slot, op });
+        }
+    }
+
+    fn enqueue_now(&mut self, slot: usize, op: BusOp) {
+        // Revalidate cache-promised data at the end of the access latency:
+        // if the supplying cache lost the line to a purge meanwhile, the
+        // controller simply discards the reply; the valid bit in memory
+        // lets the originator's retransmission recover (§3).
+        if let Some(supplier) = op.supplier {
+            let still_good =
+                self.controllers[supplier.as_usize()].data_of(&op.line) == op.data;
+            if !still_good {
+                self.reissue_row_request(&op);
+                return;
+            }
+        }
+        let now = self.now();
+        let dur = self.op_duration(&op);
+        if let Some(done) = self.buses[slot].enqueue(op, dur, now) {
+            self.events.schedule(done, Event::BusComplete { slot });
+            self.op_started(slot, &op, now);
+        }
+    }
+
+    /// Bus occupancy of an operation in nanoseconds.
+    pub(crate) fn op_duration(&self, op: &BusOp) -> u64 {
+        let t = self.config.timing();
+        if let Some(p) = op.piece {
+            let piece_words = match self.config.latency_mode() {
+                LatencyMode::Pieces { words } => words.clamp(1, self.config.block_words()),
+                _ => self.config.block_words(),
+            };
+            let sent = piece_words * p.index;
+            let remaining = self.config.block_words().saturating_sub(sent);
+            t.addr_op_ns + t.word_ns * remaining.min(piece_words) as u64
+        } else if op.streams_data() {
+            t.data_op_ns(self.config.block_words())
+        } else {
+            t.addr_op_ns
+        }
+    }
+
+    /// Called whenever an operation starts occupying a bus: handles the
+    /// requested-word-first early unblock.
+    fn op_started(&mut self, slot: usize, op: &BusOp, start: SimTime) {
+        if self.config.latency_mode() != LatencyMode::RequestedWordFirst {
+            return;
+        }
+        if !op.streams_data() || !op.kind.completes_originator() {
+            return;
+        }
+        if !self.originator_on_bus(slot, op) {
+            return;
+        }
+        let Some(info) = self.txns.get(&op.txn) else {
+            return;
+        };
+        if info.done {
+            return;
+        }
+        let t = self.config.timing();
+        let early = start + (t.addr_op_ns + t.word_ns);
+        let node = op.originator;
+        let txn = op.txn;
+        let data = op.data;
+        self.events.schedule(early, Event::EarlyComplete { node, txn, data });
+    }
+
+    /// Pieces-mode first-piece unblock: the requested word has arrived.
+    fn maybe_piece_unblock(&mut self, slot: usize, op: &BusOp) {
+        if !op.kind.completes_originator() || !self.originator_on_bus(slot, op) {
+            return;
+        }
+        if let Some(info) = self.txns.get(&op.txn) {
+            if !info.done {
+                self.install_and_finish(op.originator, op.txn, op.data, true, false);
+            }
+        }
+    }
+
+    fn originator_on_bus(&self, slot: usize, op: &BusOp) -> bool {
+        match op.kind.class() {
+            OpClass::Row => self.origin_row(op) == self.slot_row(slot),
+            OpClass::Column => self.origin_col(op) == self.slot_col(slot),
+        }
+    }
+
+    /// Attributes an emitted operation to its transaction.
+    fn note_op(&mut self, op: &BusOp) {
+        if let Some(info) = self.txns.get_mut(&op.txn) {
+            info.bus_ops += 1;
+            match op.kind.class() {
+                OpClass::Row => info.row_ops += 1,
+                OpClass::Column => info.col_ops += 1,
+            }
+        }
+    }
+
+    /// Records a row-request retransmission for the transaction.
+    pub(crate) fn note_retry(&mut self, txn: TxnId) {
+        if let Some(info) = self.txns.get_mut(&txn) {
+            info.retries += 1;
+        }
+        if let Some(out) = self
+            .txns
+            .get(&txn)
+            .map(|i| i.node)
+            .and_then(|node| self.controllers[node.as_usize()].outstanding.as_mut())
+        {
+            if out.txn == txn {
+                out.retries += 1;
+            }
+        }
+    }
+
+    /// Records which agent served the transaction's data.
+    pub(crate) fn note_served(&mut self, txn: TxnId, served: Served) {
+        if let Some(info) = self.txns.get_mut(&txn) {
+            info.served = served;
+        }
+    }
+
+    /// Marks as *poisoned* every node on the given bus whose outstanding
+    /// READ targets `line`: a purge is sweeping past, so any read reply in
+    /// flight for that line carries stale data. Real controllers snoop
+    /// operations against their own outstanding request — the paper's one
+    /// sanctioned exception to memorylessness ("The only exception is for
+    /// outstanding processor requests issued locally").
+    pub(crate) fn poison_readers(
+        &mut self,
+        node_indices: &[usize],
+        line: LineAddr,
+        except: NodeId,
+    ) {
+        for &idx in node_indices {
+            let node = self.controllers[idx].node();
+            if node == except {
+                continue;
+            }
+            let Some(out) = self.controllers[idx].outstanding() else {
+                continue;
+            };
+            if out.line != line
+                || out.kind != RequestKind::Read
+                || out.phase != crate::node::TxnPhase::Requested
+            {
+                continue;
+            }
+            let txn = out.txn;
+            if let Some(info) = self.txns.get_mut(&txn) {
+                if !info.done && !info.installed {
+                    info.poisoned = true;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transaction bookkeeping
+    // ------------------------------------------------------------------
+
+    pub(crate) fn new_txn(&mut self, node: NodeId, req: Request) -> TxnId {
+        self.txn_seq += 1;
+        let txn = TxnId(self.txn_seq);
+        self.txns.insert(
+            txn,
+            TxnInfo {
+                node,
+                kind: req.kind,
+                line: req.line,
+                start: self.now(),
+                bus_ops: 0,
+                row_ops: 0,
+                col_ops: 0,
+                retries: 0,
+                served: Served::Local,
+                installed: false,
+                poisoned: false,
+                fill_l1: false,
+                done: false,
+            },
+        );
+        txn
+    }
+
+    /// Whether `txn` is still the node's outstanding transaction in the
+    /// requested phase.
+    pub(crate) fn txn_outstanding(&self, node: NodeId, txn: TxnId) -> bool {
+        self.controllers[node.as_usize()]
+            .outstanding()
+            .map(|o| o.txn == txn)
+            .unwrap_or(false)
+    }
+
+    /// Installs the reply data into the originator's cache (idempotent) and
+    /// finishes the transaction. `success` is the TAS outcome for
+    /// test-and-set transactions.
+    ///
+    /// `is_final` distinguishes the reply's authoritative delivery (the
+    /// completion of its last bus operation) from early unblocks
+    /// (requested-word-first, first piece). A *poisoned* read — one whose
+    /// line was purged by a concurrent write while the reply was in
+    /// flight — discards the stale data; the final delivery retransmits
+    /// the row request ("treated exactly as if it were a new request").
+    pub(crate) fn install_and_finish(
+        &mut self,
+        node: NodeId,
+        txn: TxnId,
+        data: Option<LineVersion>,
+        success: bool,
+        is_final: bool,
+    ) {
+        if !self.txn_outstanding(node, txn) {
+            return;
+        }
+        let info = self.txns.get(&txn).expect("txn info").clone();
+        if info.done {
+            return;
+        }
+        if info.poisoned {
+            if is_final {
+                if let Some(i) = self.txns.get_mut(&txn) {
+                    i.poisoned = false;
+                }
+                self.note_retry(txn);
+                self.issue_row_request(node, txn);
+            }
+            return;
+        }
+        let idx = node.as_usize();
+        if !info.installed {
+            match info.kind {
+                RequestKind::Read => {
+                    let v = data.unwrap_or(LineVersion::INITIAL);
+                    self.set_line(idx, info.line, LineMode::Shared, v);
+                }
+                RequestKind::Write | RequestKind::Allocate => {
+                    let v = self.next_version(info.line);
+                    self.set_line(idx, info.line, LineMode::Modified, v);
+                }
+                RequestKind::TestAndSet => {
+                    if success {
+                        let v = self.next_version(info.line);
+                        self.set_line(idx, info.line, LineMode::Modified, v);
+                    }
+                }
+                RequestKind::Writeback => {}
+            }
+            if let Some(i) = self.txns.get_mut(&txn) {
+                i.installed = true;
+            }
+        }
+        self.finish_txn(node, txn, success);
+    }
+
+    /// Marks the transaction complete: metrics, completion record,
+    /// synthetic-workload follow-up.
+    pub(crate) fn finish_txn(&mut self, node: NodeId, txn: TxnId, success: bool) {
+        let now = self.now();
+        let out = self.controllers[node.as_usize()].outstanding.take();
+        debug_assert!(out.map(|o| o.txn == txn).unwrap_or(false));
+        self.controllers[node.as_usize()].completed += 1;
+
+        let (latency, kind, line, fill_l1) = {
+            let info = self.txns.get_mut(&txn).expect("txn info");
+            info.done = true;
+            (now.since(info.start), info.kind, info.line, info.fill_l1)
+        };
+        if fill_l1 {
+            self.controllers[node.as_usize()].l1_fill(line);
+        }
+        let info = self.txns.get(&txn).expect("txn info").clone();
+        self.metrics
+            .bucket(kind, info.served, success)
+            .record(
+                latency.as_nanos(),
+                info.bus_ops,
+                info.row_ops,
+                info.col_ops,
+                info.retries,
+            );
+        self.completions.push_back(Completion {
+            node,
+            txn,
+            kind,
+            line,
+            success,
+            latency,
+            at: now,
+        });
+        self.on_synthetic_completion(node, latency);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(n: u32) -> Machine {
+        Machine::new(MachineConfig::grid(n).unwrap(), 1).unwrap()
+    }
+
+    #[test]
+    fn slots_map_rows_then_columns() {
+        let m = machine(4);
+        assert_eq!(m.row_slot(2), 2);
+        assert_eq!(m.col_slot(2), 6);
+        assert_eq!(m.slot_row(2), 2);
+        assert_eq!(m.slot_col(6), 2);
+        assert!(m.buses[m.row_slot(3)].id().is_row());
+        assert!(m.buses[m.col_slot(0)].id().is_column());
+    }
+
+    #[test]
+    fn submit_rejects_busy_node() {
+        let mut m = machine(2);
+        let node = NodeId::new(0);
+        m.submit(node, Request::read(LineAddr::new(1))).unwrap();
+        assert_eq!(
+            m.submit(node, Request::read(LineAddr::new(2))),
+            Err(SubmitError::Busy)
+        );
+    }
+
+    #[test]
+    fn registry_owner_list_tracks_inserts_and_removals() {
+        let mut m = machine(2);
+        for i in 0..4 {
+            m.registry_set_owner(LineAddr::new(i), NodeId::new(0));
+        }
+        assert_eq!(m.owned_list.len(), 4);
+        m.registry_clear_owner(LineAddr::new(1));
+        m.registry_clear_owner(LineAddr::new(3));
+        assert_eq!(m.owned_list.len(), 2);
+        assert!(m.owned_list.contains(&LineAddr::new(0)));
+        assert!(m.owned_list.contains(&LineAddr::new(2)));
+        // Clearing a non-owner is a no-op.
+        m.registry_clear_owner(LineAddr::new(9));
+        assert_eq!(m.owned_list.len(), 2);
+    }
+
+    #[test]
+    fn op_duration_distinguishes_data_and_addr() {
+        let m = machine(2);
+        let addr_op = BusOp::new(
+            OpKind::ReadRowRequest,
+            LineAddr::new(0),
+            NodeId::new(0),
+            TxnId(1),
+        );
+        assert_eq!(m.op_duration(&addr_op), 50);
+        let data_op = BusOp::new(
+            OpKind::ReadRowReply,
+            LineAddr::new(0),
+            NodeId::new(0),
+            TxnId(1),
+        )
+        .with_data(LineVersion::INITIAL);
+        assert_eq!(m.op_duration(&data_op), 50 + 16 * 50);
+        // An ALLOCATE acknowledge is short.
+        let ack = data_op.with_allocate(true);
+        assert_eq!(m.op_duration(&ack), 50);
+    }
+
+    #[test]
+    fn sync_word_requires_ownership() {
+        let mut m = machine(2);
+        let node = NodeId::new(0);
+        let line = LineAddr::new(5);
+        assert!(!m.write_sync_word(node, line, 1));
+        // Acquire the line modified first.
+        m.submit(node, Request::write(line)).unwrap();
+        m.advance().unwrap();
+        assert!(m.write_sync_word(node, line, 7));
+        assert_eq!(m.sync_word(line), 7);
+    }
+}

@@ -1,0 +1,371 @@
+//! READ transaction procedures (Appendix A) plus the shared helpers for
+//! modified-signal polling, MLT replica maintenance and snarfing.
+
+use multicube_mem::LineAddr;
+
+use crate::machine::Machine;
+use crate::metrics::Served;
+use crate::node::LineMode;
+use crate::proto::{BusOp, OpClass, OpKind};
+
+impl Machine {
+    // ------------------------------------------------------------------
+    // Shared helpers
+    // ------------------------------------------------------------------
+
+    /// Polls the row for the wired-OR *modified signal*: at most one node's
+    /// column MLT contains the line; returns that column. Applies the
+    /// failure-injection drop (§3: a controller "can, on occasion, simply
+    /// discard such requests without breaking the protocol").
+    pub(crate) fn poll_modified_signal(&mut self, row: u32, line: &LineAddr) -> Option<u32> {
+        let mut found: Option<u32> = None;
+        for idx in self.row_nodes(row) {
+            if self.controllers[idx].mlt_contains(line) {
+                debug_assert!(
+                    found.is_none(),
+                    "two columns claim {line:?} modified — MLT replicas diverged"
+                );
+                found = Some(self.controllers[idx].col());
+                if !cfg!(debug_assertions) {
+                    break;
+                }
+            }
+        }
+        let drop_p = self.config.signal_drop_probability();
+        if found.is_some() && drop_p > 0.0 && self.rng.chance(drop_p) {
+            self.metrics.dropped_signals.incr();
+            return None;
+        }
+        found
+    }
+
+    /// Removes the line from every MLT replica of a column; returns whether
+    /// the entry was present ("remove failed" drives race retries).
+    pub(crate) fn mlt_remove_all(&mut self, col: u32, line: &LineAddr) -> bool {
+        let mut removed = None;
+        for idx in self.col_nodes(col).collect::<Vec<_>>() {
+            let r = self.controllers[idx].mlt.remove(line);
+            match removed {
+                None => removed = Some(r),
+                Some(prev) => debug_assert_eq!(prev, r, "MLT replicas diverged"),
+            }
+        }
+        removed.unwrap_or(false)
+    }
+
+    /// Inserts the line into every MLT replica of a column, handling
+    /// overflow: the overflow victim's holder writes it back and marks it
+    /// shared (the Appendix-A `table overflow` path).
+    pub(crate) fn mlt_insert_all(&mut self, col: u32, op: &BusOp) {
+        use multicube_mem::MltInsert;
+        let mut overflow: Option<LineAddr> = None;
+        for idx in self.col_nodes(col).collect::<Vec<_>>() {
+            if let MltInsert::Overflow(v) = self.controllers[idx].mlt.insert(op.line) {
+                overflow = Some(v);
+            }
+        }
+        let Some(victim) = overflow else { return };
+        self.metrics.mlt_overflows.incr();
+        let holder = self
+            .col_nodes(col)
+            .find(|&i| self.controllers[i].mode_of(&victim) == Some(LineMode::Modified));
+        let Some(h_idx) = holder else {
+            assert!(
+                !self.config.checking(),
+                "MLT overflow victim {victim:?} has no holder in column {col}"
+            );
+            return;
+        };
+        let data = self.controllers[h_idx]
+            .data_of(&victim)
+            .expect("holder has data");
+        self.downgrade_to_shared(h_idx, victim);
+        let h_row = self.controllers[h_idx].row();
+        let h_col = self.controllers[h_idx].col();
+        let h_node = self.controllers[h_idx].node();
+        let snoop = self.config.timing().snoop_latency_ns;
+        if h_col == self.home_column(victim) {
+            let wb = BusOp::new(OpKind::WritebackColUpdateMemory, victim, h_node, op.txn)
+                .with_data(data);
+            let slot = self.col_slot(h_col);
+            self.emit(slot, wb, snoop);
+        } else {
+            let wb =
+                BusOp::new(OpKind::WritebackRowUpdate, victim, h_node, op.txn).with_data(data);
+            let slot = self.row_slot(h_row);
+            self.emit(slot, wb, snoop);
+        }
+    }
+
+    /// Retransmits the originator's row-bus request after a lost race or a
+    /// memory bounce ("the losing request is retransmitted on the row bus,
+    /// where it is treated exactly as if it were a new request (but
+    /// destined for the original requester)").
+    pub(crate) fn reissue_row_request(&mut self, op: &BusOp) {
+        self.note_retry(op.txn);
+        let Some(kind) = self.txns.get(&op.txn).map(|i| i.kind) else {
+            return;
+        };
+        use crate::driver::RequestKind::*;
+        let op_kind = match kind {
+            Read => OpKind::ReadRowRequest,
+            Write | Allocate => OpKind::ReadModRowRequest,
+            TestAndSet => OpKind::TasRowRequest,
+            Writeback => return,
+        };
+        let row = self.origin_row(op);
+        let retry = BusOp::new(op_kind, op.line, op.originator, op.txn)
+            .with_allocate(op.allocate);
+        let slot = self.row_slot(row);
+        self.emit(slot, retry, 0);
+    }
+
+    /// Offers a passing data operation to the snoopers on a bus for
+    /// snarfing. Only called for operations whose line is in global state
+    /// unmodified, per §3.
+    ///
+    /// Snarfing is restricted to **row-bus** deliveries: on the delivery
+    /// row, bus FIFO order guarantees that any invalidation generated by a
+    /// concurrent write is delivered *after* the data (the same ordering
+    /// that protects the requester's own install), so a snarfed copy that
+    /// is momentarily stale is purged right behind it. Column-bus data is
+    /// not ordered against row-bus purges, so snarfing there could leave a
+    /// permanently stale shared copy.
+    pub(crate) fn snarf_on_bus(&mut self, slot: usize, op: &BusOp) {
+        if !self.config.snarfing() || !op.streams_data() {
+            return;
+        }
+        if op.kind.class() != OpClass::Row {
+            return;
+        }
+        // A poisoned reply carries data that a purge has already swept
+        // past; the requester will discard it, and so must snoopers.
+        if let Some(info) = self.txns.get(&op.txn) {
+            if info.poisoned {
+                return;
+            }
+        }
+        let Some(data) = op.data else { return };
+        // Multi-beat transfers (pieces mode) can have an invalidation
+        // cross the bus *between* beats; a real snarfing controller
+        // assembling the line sees the purge pass and aborts. Model that
+        // abort by declining to snarf data that is no longer current.
+        if data != self.committed_version(op.line) {
+            return;
+        }
+        let nodes: Vec<usize> = self.row_nodes(self.slot_row(slot)).collect();
+        for idx in nodes {
+            let node = self.controllers[idx].node();
+            if node == op.originator {
+                continue;
+            }
+            if self.controllers[idx].recently_held(&op.line)
+                && self.controllers[idx].can_snarf(&op.line)
+            {
+                self.set_line(idx, op.line, LineMode::Shared, data);
+                self.controllers[idx].snarfs += 1;
+                self.metrics.snarfs.incr();
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // READ procedures
+    // ------------------------------------------------------------------
+
+    /// `READ (ROW, REQUEST)`: route to the modified column if some node's
+    /// MLT knows the line is modified there, else to the home column —
+    /// which may answer from its own cache.
+    pub(crate) fn on_read_row_request(&mut self, slot: usize, op: BusOp) {
+        let row = self.slot_row(slot);
+        if let Some(cm) = self.poll_modified_signal(row, &op.line) {
+            let fwd = BusOp::new(OpKind::ReadColRequestRemove, op.line, op.originator, op.txn);
+            let slot = self.col_slot(cm);
+            self.emit(slot, fwd, 0);
+            return;
+        }
+        let home = self.home_column(op.line);
+        let home_idx = self.node_at(row, home).as_usize();
+        if self.controllers[home_idx].mode_of(&op.line) == Some(LineMode::Shared) {
+            // "if (line is shared) then READ (ROW, REPLY)"
+            let data = self.controllers[home_idx]
+                .data_of(&op.line)
+                .expect("shared line has data");
+            self.note_served(op.txn, Served::HomeCache);
+            let home_node = self.controllers[home_idx].node();
+            let reply = BusOp::new(OpKind::ReadRowReply, op.line, op.originator, op.txn)
+                .with_data(data)
+                .with_supplier(home_node);
+            let snoop = self.config.timing().snoop_latency_ns;
+            let slot = self.row_slot(row);
+            self.emit(slot, reply, snoop);
+        } else {
+            let fwd = BusOp::new(OpKind::ReadColRequestMemory, op.line, op.originator, op.txn);
+            let slot = self.col_slot(home);
+            self.emit(slot, fwd, 0);
+        }
+    }
+
+    /// `READ (COLUMN, REQUEST, REMOVE)`: the MLT removal arbitrates; the
+    /// holder supplies the data and downgrades to shared.
+    pub(crate) fn on_read_col_request_remove(&mut self, slot: usize, op: BusOp) {
+        let col = self.slot_col(slot);
+        if !self.mlt_remove_all(col, &op.line) {
+            // "if (remove failed) then if (row match) then READ (ROW, REQUEST)"
+            self.reissue_row_request(&op);
+            return;
+        }
+        let holder = self
+            .col_nodes(col)
+            .find(|&i| self.controllers[i].mode_of(&op.line) == Some(LineMode::Modified));
+        let Some(d_idx) = holder else {
+            // Defensive: table and caches diverged; retry as a lost race.
+            self.reissue_row_request(&op);
+            return;
+        };
+        let data = self.controllers[d_idx]
+            .data_of(&op.line)
+            .expect("modified line has data");
+        self.downgrade_to_shared(d_idx, op.line);
+        self.note_served(op.txn, Served::RemoteModified);
+        let d_row = self.controllers[d_idx].row();
+        let snoop = self.config.timing().snoop_latency_ns;
+        let o_row = self.origin_row(&op);
+        if col == self.home_column(op.line) {
+            let reply = BusOp::new(
+                OpKind::ReadColReplyUpdateMemory,
+                op.line,
+                op.originator,
+                op.txn,
+            )
+            .with_data(data);
+            let slot = self.col_slot(col);
+            self.emit(slot, reply, snoop);
+        } else if d_row == o_row {
+            let reply = BusOp::new(OpKind::ReadRowReplyUpdate, op.line, op.originator, op.txn)
+                .with_data(data);
+            let slot = self.row_slot(d_row);
+            self.emit(slot, reply, snoop);
+        } else {
+            let reply = BusOp::new(OpKind::ReadColReplyUpdate, op.line, op.originator, op.txn)
+                .with_data(data);
+            let slot = self.col_slot(col);
+            self.emit(slot, reply, snoop);
+        }
+    }
+
+    /// `READ (COLUMN, REQUEST, MEMORY)`: memory answers if its copy is
+    /// valid, else bounces the request back as a REMOVE (the robustness
+    /// path driven by the per-line valid bit).
+    pub(crate) fn on_read_col_request_memory(&mut self, slot: usize, op: BusOp) {
+        let col = self.slot_col(slot);
+        debug_assert_eq!(col, self.home_column(op.line));
+        let latency = self.config.timing().memory_latency_ns;
+        match self.memories[col as usize].read_valid(&op.line) {
+            Some(data) => {
+                self.note_served(op.txn, Served::Memory);
+                let reply =
+                    BusOp::new(OpKind::ReadColReplyNoPurge, op.line, op.originator, op.txn)
+                        .with_data(data);
+                self.emit(slot, reply, latency);
+            }
+            None => {
+                self.metrics.memory_bounces.incr();
+                let bounce =
+                    BusOp::new(OpKind::ReadColRequestRemove, op.line, op.originator, op.txn);
+                self.emit(slot, bounce, latency);
+            }
+        }
+    }
+
+    /// `READ (COLUMN, REPLY, UPDATE)`: data leaves the modified column; the
+    /// originator (if here) takes it and forwards a memory update along its
+    /// row; otherwise the row-match controller forwards the data.
+    pub(crate) fn on_read_col_reply_update(&mut self, slot: usize, op: BusOp) {
+        let col = self.slot_col(slot);
+        self.verify_carried(&op);
+        let data = op.data.expect("reply carries data");
+        if self.origin_col(&op) == col {
+            // "READ (ROW, UPDATE)" == WRITEBACK (ROW, UPDATE). Emitted
+            // before completing so the operation is attributed to this
+            // transaction's cost.
+            let upd = BusOp::new(OpKind::WritebackRowUpdate, op.line, op.originator, op.txn)
+                .with_data(data);
+            let o_row = self.origin_row(&op);
+            let slot = self.row_slot(o_row);
+            self.emit(slot, upd, 0);
+            self.install_and_finish(op.originator, op.txn, op.data, true, true);
+        } else {
+            let fwd = BusOp::new(OpKind::ReadRowReplyUpdate, op.line, op.originator, op.txn)
+                .with_data(data);
+            let o_row = self.origin_row(&op);
+            let slot = self.row_slot(o_row);
+            self.emit(slot, fwd, 0);
+        }
+        self.snarf_on_bus(slot, &op);
+    }
+
+    /// `READ (COLUMN, REPLY, UPDATE, MEMORY)`: data on the home column;
+    /// memory updates as a side effect of the same bus operation.
+    pub(crate) fn on_read_col_reply_update_memory(&mut self, slot: usize, op: BusOp) {
+        let col = self.slot_col(slot);
+        self.verify_carried(&op);
+        let data = op.data.expect("reply carries data");
+        // "* write memory line and mark line valid"
+        self.memories[col as usize].write(op.line, data);
+        if self.origin_col(&op) == col {
+            self.install_and_finish(op.originator, op.txn, op.data, true, true);
+        } else {
+            let fwd = BusOp::new(OpKind::ReadRowReply, op.line, op.originator, op.txn)
+                .with_data(data);
+            let o_row = self.origin_row(&op);
+            let slot = self.row_slot(o_row);
+            self.emit(slot, fwd, 0);
+        }
+        self.snarf_on_bus(slot, &op);
+    }
+
+    /// `READ (COLUMN, REPLY, NOPURGE)`: memory's reply travels up the home
+    /// column; the row-match controller relays it to the originator's row.
+    pub(crate) fn on_read_col_reply_nopurge(&mut self, slot: usize, op: BusOp) {
+        let col = self.slot_col(slot);
+        self.verify_carried(&op);
+        let data = op.data.expect("reply carries data");
+        if self.origin_col(&op) == col {
+            self.install_and_finish(op.originator, op.txn, op.data, true, true);
+        } else {
+            let fwd = BusOp::new(OpKind::ReadRowReply, op.line, op.originator, op.txn)
+                .with_data(data);
+            let o_row = self.origin_row(&op);
+            let slot = self.row_slot(o_row);
+            self.emit(slot, fwd, 0);
+        }
+        self.snarf_on_bus(slot, &op);
+    }
+
+    /// `READ (ROW, REPLY)`: final delivery on the originator's row.
+    pub(crate) fn on_read_row_reply(&mut self, slot: usize, op: BusOp) {
+        debug_assert_eq!(self.slot_row(slot), self.origin_row(&op));
+        self.verify_carried(&op);
+        self.install_and_finish(op.originator, op.txn, op.data, true, true);
+        self.snarf_on_bus(slot, &op);
+    }
+
+    /// `READ (ROW, REPLY, UPDATE)`: final delivery on the originator's row;
+    /// the home-column controller additionally forwards the memory update.
+    pub(crate) fn on_read_row_reply_update(&mut self, slot: usize, op: BusOp) {
+        debug_assert_eq!(self.slot_row(slot), self.origin_row(&op));
+        self.verify_carried(&op);
+        let data = op.data.expect("reply carries data");
+        // "if (on home column) then READ (COLUMN, UPDATE, MEMORY)" —
+        // emitted before completing for correct cost attribution.
+        let home = self.home_column(op.line);
+        let home_node = self.node_at(self.slot_row(slot), home);
+        let upd = BusOp::new(OpKind::WritebackColUpdateMemory, op.line, home_node, op.txn)
+            .with_data(data);
+        let dst = self.col_slot(home);
+        self.emit(dst, upd, 0);
+        self.install_and_finish(op.originator, op.txn, op.data, true, true);
+        self.snarf_on_bus(slot, &op);
+    }
+}

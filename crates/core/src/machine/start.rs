@@ -1,0 +1,206 @@
+//! Transaction initiation: the processor-side entry points of the formal
+//! protocol ("Initiate a READ transaction with a row bus request; first
+//! reserve space in the data cache (if necessary) with a WRITEBACK
+//! transaction").
+
+
+use multicube_topology::NodeId;
+
+use crate::driver::{Request, RequestKind};
+use crate::machine::{Event, Machine};
+use crate::metrics::Served;
+use crate::node::{LineMode, Outstanding, TxnPhase};
+use crate::proto::{BusOp, OpKind, TxnId};
+
+impl Machine {
+    /// Issue-event handler: explicit request, or one generated from the
+    /// synthetic workload spec.
+    pub(crate) fn on_issue(&mut self, node: NodeId, request: Option<Request>) {
+        let req = match request {
+            Some(r) => Some(r),
+            None => self.synthetic_next_request(node),
+        };
+        let Some(req) = req else { return };
+        if self.controllers[node.as_usize()].outstanding().is_some() {
+            // A scheduled issue raced with an unfinished transaction;
+            // drop it (callers using submit_at must pace themselves).
+            return;
+        }
+        self.start_request(node, req);
+    }
+
+    /// Starts a transaction for `node`; the node must be idle.
+    pub(crate) fn start_request(&mut self, node: NodeId, req: Request) -> TxnId {
+        let txn = self.new_txn(node, req);
+        let idx = node.as_usize();
+        let mode = self.controllers[idx].mode_of(&req.line);
+        let snoop = self.config.timing().snoop_latency_ns;
+
+        let mut out = Outstanding {
+            txn,
+            kind: req.kind,
+            line: req.line,
+            issued_at: self.now(),
+            phase: TxnPhase::Local,
+            retries: 0,
+            bus_ops: 0,
+            victim: None,
+        };
+
+        match (req.kind, mode) {
+            // ---- Local (bus-free) paths ----
+            (RequestKind::Read, Some(LineMode::Shared | LineMode::Modified))
+            | (RequestKind::Write | RequestKind::Allocate, Some(LineMode::Modified))
+            | (RequestKind::TestAndSet, Some(LineMode::Modified)) => {
+                self.controllers[idx].outstanding = Some(out);
+                self.events.schedule_after(snoop, Event::LocalDone { node });
+            }
+            (RequestKind::Writeback, m) => {
+                if m == Some(LineMode::Modified) {
+                    out.phase = TxnPhase::Requested;
+                    self.controllers[idx].outstanding = Some(out);
+                    let col = self.controllers[idx].col();
+                    let op = BusOp::new(OpKind::WritebackColRemove, req.line, node, txn);
+                    let slot = self.col_slot(col);
+                    self.emit(slot, op, 0);
+                } else {
+                    // Nothing to write back: complete immediately.
+                    self.controllers[idx].outstanding = Some(out);
+                    self.events.schedule_after(0u64, Event::LocalDone { node });
+                }
+            }
+            // ---- Upgrade: write/TAS on a shared copy (no reservation
+            //      needed; the line is already resident) ----
+            (RequestKind::Write | RequestKind::Allocate, Some(LineMode::Shared)) => {
+                out.phase = TxnPhase::Requested;
+                self.controllers[idx].outstanding = Some(out);
+                self.issue_row_request(node, txn);
+            }
+            (RequestKind::TestAndSet, Some(LineMode::Shared)) => {
+                out.phase = TxnPhase::Requested;
+                self.controllers[idx].outstanding = Some(out);
+                self.issue_row_request(node, txn);
+            }
+            // ---- Miss paths (reserve space, then request) ----
+            _ => {
+                self.begin_miss(node, out);
+            }
+        }
+        txn
+    }
+
+    /// Reserves a cache slot (writing back a modified victim first if
+    /// necessary), then issues the row-bus request.
+    fn begin_miss(&mut self, node: NodeId, mut out: Outstanding) {
+        let idx = node.as_usize();
+        let line = out.line;
+        if !self.controllers[idx].cache.contains(&line) {
+            if let Some((victim, meta)) = self.controllers[idx]
+                .cache
+                .victim_for(&line)
+                .map(|(l, m)| (l, *m))
+            {
+                if meta.mode == LineMode::Modified {
+                    // "if (victim line is modified) then
+                    //      WRITEBACK (COLUMN, REMOVE); wait for continue"
+                    self.metrics.victim_writebacks.incr();
+                    out.phase = TxnPhase::VictimWriteback;
+                    out.victim = Some(victim);
+                    let txn = out.txn;
+                    self.controllers[idx].outstanding = Some(out);
+                    let col = self.controllers[idx].col();
+                    let op = BusOp::new(OpKind::WritebackColRemove, victim, node, txn);
+                    let slot = self.col_slot(col);
+                    self.emit(slot, op, 0);
+                    return;
+                }
+                // Shared/reserved victims are dropped silently.
+                self.clear_line(idx, victim);
+            }
+        }
+        out.phase = TxnPhase::Requested;
+        let txn = out.txn;
+        self.controllers[idx].outstanding = Some(out);
+        self.issue_row_request(node, txn);
+    }
+
+    /// Emits the row-bus request appropriate for the outstanding kind.
+    /// Also used for race-loss retransmissions ("the losing request is
+    /// retransmitted on the row bus ... destined for the original
+    /// requester").
+    pub(crate) fn issue_row_request(&mut self, node: NodeId, txn: TxnId) {
+        let Some(info) = self.txns.get(&txn) else {
+            return;
+        };
+        let (kind, line) = (info.kind, info.line);
+        let row = self.controllers[node.as_usize()].row();
+        let slot = self.row_slot(row);
+        let (op_kind, allocate) = match kind {
+            RequestKind::Read => (OpKind::ReadRowRequest, false),
+            RequestKind::Write => (OpKind::ReadModRowRequest, false),
+            RequestKind::Allocate => (OpKind::ReadModRowRequest, true),
+            RequestKind::TestAndSet => (OpKind::TasRowRequest, false),
+            RequestKind::Writeback => unreachable!("writebacks start on the column bus"),
+        };
+        let op = BusOp::new(op_kind, line, node, txn).with_allocate(allocate);
+        self.emit(slot, op, 0);
+    }
+
+    /// Completion of a local (bus-free) cache access. Because up to 750 ns
+    /// elapse between issue and this instant, the line may have been purged
+    /// or downgraded by snooped traffic — in that case the access restarts
+    /// as a bus transaction, exactly as a real controller would re-execute.
+    pub(crate) fn on_local_done(&mut self, node: NodeId) {
+        let idx = node.as_usize();
+        let Some(out) = self.controllers[idx].outstanding else {
+            return;
+        };
+        if out.phase != TxnPhase::Local {
+            return;
+        }
+        let mode = self.controllers[idx].mode_of(&out.line);
+        match (out.kind, mode) {
+            (RequestKind::Read, Some(LineMode::Shared | LineMode::Modified)) => {
+                // Touch for LRU.
+                self.controllers[idx].cache.get(&out.line);
+                self.note_served(out.txn, Served::Local);
+                self.finish_txn(node, out.txn, true);
+            }
+            (RequestKind::Write | RequestKind::Allocate, Some(LineMode::Modified)) => {
+                let v = self.next_version(out.line);
+                if let Some(cl) = self.controllers[idx].cache.get_mut(&out.line) {
+                    cl.data = v;
+                }
+                self.note_served(out.txn, Served::Local);
+                self.finish_txn(node, out.txn, true);
+            }
+            (RequestKind::TestAndSet, Some(LineMode::Modified)) => {
+                let word = self.sync_word(out.line);
+                let success = word == 0;
+                if success {
+                    self.sync_words.insert(out.line, 1);
+                    let v = self.next_version(out.line);
+                    if let Some(cl) = self.controllers[idx].cache.get_mut(&out.line) {
+                        cl.data = v;
+                    }
+                }
+                self.note_served(out.txn, Served::Local);
+                self.finish_txn(node, out.txn, success);
+            }
+            (RequestKind::Writeback, _) => {
+                // The line was not modified (or was taken meanwhile).
+                self.note_served(out.txn, Served::Local);
+                self.finish_txn(node, out.txn, true);
+            }
+            _ => {
+                // The line was snooped away while we waited: restart as a
+                // bus transaction.
+                self.note_retry(out.txn);
+                let mut out2 = out;
+                out2.phase = TxnPhase::Requested;
+                self.controllers[idx].outstanding = None;
+                self.begin_miss(node, out2);
+            }
+        }
+    }
+}

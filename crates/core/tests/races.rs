@@ -1,0 +1,199 @@
+//! Deterministic race scenarios: the §3 "Timing Considerations" cases,
+//! staged with concurrent submissions so the bus-arbitration resolution
+//! paths (losing-request retransmission, memory bounces, write-back
+//! races) are exercised explicitly rather than only probabilistically.
+
+use multicube::{Machine, MachineConfig, Request, RequestKind};
+use multicube_mem::LineAddr;
+use multicube_topology::NodeId;
+
+fn machine(n: u32) -> Machine {
+    Machine::new(MachineConfig::grid(n).unwrap(), 1234).unwrap()
+}
+
+/// "In case of a race between two requests for the same cache line (where
+/// at least one of the requests is a READ-MOD), the first request
+/// appearing on the home column ... determines the winner. The losing
+/// request is retransmitted."
+#[test]
+fn two_writers_race_one_wins_then_other_follows() {
+    let mut m = machine(4);
+    let line = LineAddr::new(6);
+    let a = NodeId::new(1);
+    let b = NodeId::new(11);
+    m.submit(a, Request::write(line)).unwrap();
+    m.submit(b, Request::write(line)).unwrap();
+    let done = m.run_to_quiescence();
+    assert_eq!(done.len(), 2, "both writers complete");
+    // Exactly one holds the line at the end; the loser's retry took it
+    // from the winner, so the final owner is whoever retried last.
+    let owners = [a, b]
+        .iter()
+        .filter(|&&n| {
+            m.controller(n).mode_of(&line) == Some(multicube::LineMode::Modified)
+        })
+        .count();
+    assert_eq!(owners, 1);
+    // The memory bounce / retransmission machinery fired.
+    let retries = m.metrics().write_unmodified.retries.get()
+        + m.metrics().write_modified.retries.get()
+        + m.metrics().memory_bounces.get();
+    assert!(retries > 0, "a same-line write race must produce retries");
+    m.check_coherence().unwrap();
+}
+
+/// Reader and writer race on the same unmodified line.
+#[test]
+fn reader_and_writer_race_stays_coherent() {
+    for seed in 0..8u64 {
+        let mut m = Machine::new(MachineConfig::grid(4).unwrap(), seed).unwrap();
+        let line = LineAddr::new(9);
+        let reader = NodeId::new(2);
+        let writer = NodeId::new(13);
+        m.submit(reader, Request::read(line)).unwrap();
+        m.submit(writer, Request::write(line)).unwrap();
+        let done = m.run_to_quiescence();
+        assert_eq!(done.len(), 2);
+        // Writer owns the line unless the reader's copy was installed
+        // after the purge and then... no: at quiescence the writer holds
+        // it modified and the reader either holds nothing (purged) or a
+        // current shared copy is impossible while modified exists.
+        assert_eq!(
+            m.controller(writer).mode_of(&line),
+            Some(multicube::LineMode::Modified)
+        );
+        m.check_coherence().unwrap();
+    }
+}
+
+/// A victim write-back racing with a request for the victim line: the
+/// §3 WRITE-BACK rule ("the table entry is removed first in order to
+/// avoid the problem where an outstanding request attempts to acquire the
+/// line, only to discover that it has already been written to memory").
+#[test]
+fn writeback_races_with_request_for_victim() {
+    // 1-way cache: writing a second line evicts the first.
+    let config = MachineConfig::grid(4)
+        .unwrap()
+        .with_snoop_cache(multicube_mem::CacheGeometry::new(1, 1));
+    let mut m = Machine::new(config, 77).unwrap();
+    let victim = LineAddr::new(100);
+    let other = LineAddr::new(205);
+    let evictor = NodeId::new(6);
+    let chaser = NodeId::new(9);
+
+    m.submit(evictor, Request::write(victim)).unwrap();
+    m.advance().unwrap();
+    m.run_to_quiescence();
+
+    // Concurrently: evictor displaces `victim` (forcing its write-back)
+    // while the chaser requests the victim line.
+    m.submit(evictor, Request::write(other)).unwrap();
+    m.submit(chaser, Request::read(victim)).unwrap();
+    let done = m.run_to_quiescence();
+    assert_eq!(done.len(), 2);
+    // The chaser got the correct (written) data no matter who won.
+    assert_eq!(
+        m.controller(chaser).data_of(&victim),
+        Some(m.committed_version(victim)),
+    );
+    m.check_coherence().unwrap();
+}
+
+/// All nine processors of a 3x3 grid hammer a single line with mixed
+/// reads and writes, repeatedly: the worst-case hot spot.
+#[test]
+fn full_grid_hot_spot_storm() {
+    let mut m = machine(3);
+    let line = LineAddr::new(4);
+    for round in 0..12u32 {
+        for i in 0..9u32 {
+            let node = NodeId::new(i);
+            let req = if (i + round) % 3 == 0 {
+                Request::write(line)
+            } else {
+                Request::read(line)
+            };
+            m.submit(node, req).unwrap();
+        }
+        let done = m.run_to_quiescence();
+        assert_eq!(done.len(), 9, "round {round}");
+        m.check_coherence().unwrap();
+    }
+    // Races really happened.
+    assert!(
+        m.metrics().memory_bounces.get() > 0
+            || m.metrics().write_unmodified.retries.get() > 0
+    );
+}
+
+/// Concurrent TAS storm on one lock line: exactly one success per epoch.
+#[test]
+fn tas_storm_grants_exactly_one() {
+    let mut m = machine(3);
+    let line = LineAddr::new(8);
+    for _ in 0..5 {
+        for i in 0..9u32 {
+            m.submit(NodeId::new(i), Request::new(RequestKind::TestAndSet, line))
+                .unwrap();
+        }
+        let done = m.run_to_quiescence();
+        let successes = done.iter().filter(|c| c.success).count();
+        assert_eq!(successes, 1, "exactly one winner per storm");
+        // Release for the next round.
+        let winner = done.iter().find(|c| c.success).unwrap().node;
+        assert!(m.write_sync_word(winner, line, 0));
+    }
+    m.check_coherence().unwrap();
+}
+
+/// An ALLOCATE racing a READ of the same fresh line.
+#[test]
+fn allocate_races_reader() {
+    let mut m = machine(4);
+    let line = LineAddr::new(30);
+    let io_node = NodeId::new(0);
+    let reader = NodeId::new(15);
+    m.submit(io_node, Request::new(RequestKind::Allocate, line))
+        .unwrap();
+    m.submit(reader, Request::read(line)).unwrap();
+    let done = m.run_to_quiescence();
+    assert_eq!(done.len(), 2);
+    m.check_coherence().unwrap();
+}
+
+/// Explicit write-backs from two different owners in sequence, racing
+/// with a third node's reads.
+#[test]
+fn writeback_request_interleaving() {
+    let mut m = machine(4);
+    let line = LineAddr::new(14);
+    let a = NodeId::new(3);
+    let b = NodeId::new(12);
+    let reader = NodeId::new(10);
+
+    m.submit(a, Request::write(line)).unwrap();
+    m.advance().unwrap();
+    m.run_to_quiescence();
+
+    // a flushes while the reader fetches: both orders are legal, the
+    // reader must simply see the committed version.
+    m.submit(a, Request::new(RequestKind::Writeback, line)).unwrap();
+    m.submit(reader, Request::read(line)).unwrap();
+    m.run_to_quiescence();
+    assert_eq!(
+        m.controller(reader).data_of(&line),
+        Some(m.committed_version(line))
+    );
+
+    m.submit(b, Request::write(line)).unwrap();
+    m.advance().unwrap();
+    m.run_to_quiescence();
+    m.submit(b, Request::new(RequestKind::Writeback, line)).unwrap();
+    m.advance().unwrap();
+    m.run_to_quiescence();
+    let home = m.home_column(line);
+    assert!(m.memory(home).is_valid(&line));
+    assert_eq!(m.memory(home).peek(&line), m.committed_version(line));
+    m.check_coherence().unwrap();
+}

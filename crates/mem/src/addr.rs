@@ -1,0 +1,207 @@
+//! Typed word and line addresses.
+
+use core::fmt;
+
+/// A word-granular memory address.
+///
+/// The paper measures everything in *bus words* (e.g. "a block size of 16
+/// words"), so the workload model generates word addresses and the
+/// [`LineGeometry`] maps them onto coherency lines.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct WordAddr(u64);
+
+impl WordAddr {
+    /// Creates a word address.
+    #[inline]
+    pub const fn new(addr: u64) -> Self {
+        WordAddr(addr)
+    }
+
+    /// The raw address value.
+    #[inline]
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for WordAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for WordAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{:#x}", self.0)
+    }
+}
+
+impl From<u64> for WordAddr {
+    fn from(v: u64) -> Self {
+        WordAddr(v)
+    }
+}
+
+/// A coherency-line index: the unit over which a single consistency check
+/// is performed (paper §5, "coherency block").
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from its index.
+    #[inline]
+    pub const fn new(index: u64) -> Self {
+        LineAddr(index)
+    }
+
+    /// The line index.
+    #[inline]
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+impl From<u64> for LineAddr {
+    fn from(v: u64) -> Self {
+        LineAddr(v)
+    }
+}
+
+/// The word-to-line mapping: how many bus words form one coherency line.
+///
+/// # Example
+///
+/// ```
+/// use multicube_mem::{LineGeometry, WordAddr};
+///
+/// let geom = LineGeometry::new(16).unwrap();
+/// let line = geom.line_of(WordAddr::new(35));
+/// assert_eq!(line.index(), 2);
+/// assert_eq!(geom.word_offset(WordAddr::new(35)), 3);
+/// assert_eq!(geom.first_word(line), WordAddr::new(32));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineGeometry {
+    words_per_line: u32,
+    shift: u32,
+}
+
+/// Error from constructing a [`LineGeometry`] with an invalid block size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidBlockSize(pub u32);
+
+impl fmt::Display for InvalidBlockSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "block size must be a nonzero power of two, got {}",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for InvalidBlockSize {}
+
+impl LineGeometry {
+    /// Creates a geometry with `words_per_line` words per coherency line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidBlockSize`] unless `words_per_line` is a nonzero
+    /// power of two (the paper's block sizes are 4–64 words).
+    pub fn new(words_per_line: u32) -> Result<Self, InvalidBlockSize> {
+        if words_per_line == 0 || !words_per_line.is_power_of_two() {
+            return Err(InvalidBlockSize(words_per_line));
+        }
+        Ok(LineGeometry {
+            words_per_line,
+            shift: words_per_line.trailing_zeros(),
+        })
+    }
+
+    /// Words per coherency line.
+    #[inline]
+    pub const fn words_per_line(self) -> u32 {
+        self.words_per_line
+    }
+
+    /// The line containing `word`.
+    #[inline]
+    pub fn line_of(self, word: WordAddr) -> LineAddr {
+        LineAddr(word.value() >> self.shift)
+    }
+
+    /// The offset of `word` within its line, in `[0, words_per_line)`.
+    #[inline]
+    pub fn word_offset(self, word: WordAddr) -> u32 {
+        (word.value() & (self.words_per_line as u64 - 1)) as u32
+    }
+
+    /// The first word of `line`.
+    #[inline]
+    pub fn first_word(self, line: LineAddr) -> WordAddr {
+        WordAddr(line.index() << self.shift)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert_eq!(LineGeometry::new(0), Err(InvalidBlockSize(0)));
+        assert_eq!(LineGeometry::new(12), Err(InvalidBlockSize(12)));
+        assert!(LineGeometry::new(1).is_ok());
+        assert!(LineGeometry::new(64).is_ok());
+    }
+
+    #[test]
+    fn word_to_line_mapping() {
+        let g = LineGeometry::new(4).unwrap();
+        assert_eq!(g.line_of(WordAddr::new(0)).index(), 0);
+        assert_eq!(g.line_of(WordAddr::new(3)).index(), 0);
+        assert_eq!(g.line_of(WordAddr::new(4)).index(), 1);
+        assert_eq!(g.word_offset(WordAddr::new(7)), 3);
+    }
+
+    #[test]
+    fn first_word_inverts_line_of() {
+        let g = LineGeometry::new(16).unwrap();
+        for idx in [0u64, 1, 5, 1000] {
+            let line = LineAddr::new(idx);
+            assert_eq!(g.line_of(g.first_word(line)), line);
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(WordAddr::new(255).to_string(), "w0xff");
+        assert_eq!(LineAddr::new(16).to_string(), "L0x10");
+    }
+
+    #[test]
+    fn conversions_from_raw() {
+        assert_eq!(WordAddr::from(9u64).value(), 9);
+        assert_eq!(LineAddr::from(9u64).index(), 9);
+    }
+
+    #[test]
+    fn single_word_lines_are_identity() {
+        let g = LineGeometry::new(1).unwrap();
+        assert_eq!(g.line_of(WordAddr::new(42)).index(), 42);
+        assert_eq!(g.word_offset(WordAddr::new(42)), 0);
+    }
+}

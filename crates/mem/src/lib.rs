@@ -1,0 +1,30 @@
+//! Memory-hierarchy building blocks for the Wisconsin Multicube.
+//!
+//! The machine's memory system (paper §2–§3) has four kinds of stateful
+//! structures, all provided here as protocol-agnostic containers:
+//!
+//! * [`LineAddr`] / [`WordAddr`] / [`LineGeometry`] — typed addresses and
+//!   the word-to-line mapping ([`addr`]).
+//! * [`SetAssocCache`] — a generic set-associative LRU cache used for both
+//!   the small SRAM *processor cache* and the large DRAM *snooping cache*
+//!   ([`cache`]).
+//! * [`ModifiedLineTable`] — the per-column table of lines held modified in
+//!   that column, bounded like a cache with an overflow victim ([`mlt`]).
+//! * [`MemoryBank`] — one column's slice of interleaved main memory with
+//!   the per-line *valid bit* the protocol's robustness relies on
+//!   ([`memory`]).
+//!
+//! Data values are modelled as opaque [`LineVersion`] stamps: every write
+//! mints a fresh version, so the coherence checker in the `multicube` crate
+//! can verify that every read observes the latest write without simulating
+//! byte contents.
+
+pub mod addr;
+pub mod cache;
+pub mod memory;
+pub mod mlt;
+
+pub use addr::{LineAddr, LineGeometry, WordAddr};
+pub use cache::{CacheGeometry, Evicted, SetAssocCache};
+pub use memory::{LineVersion, MemoryBank};
+pub use mlt::{MltInsert, ModifiedLineTable};

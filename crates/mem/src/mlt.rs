@@ -1,0 +1,212 @@
+//! The modified line table (MLT).
+//!
+//! "Associated with each processor is a modified line table, all of which
+//! are identical for a given column. This table is used to store addresses
+//! for all modified lines residing in caches in that column." (§3)
+//!
+//! The table is bounded — "this is why the modified line table is likely to
+//! be implemented as a cache" (§6 footnote) — so an insertion into a full
+//! table reports an overflow victim, which the protocol handles by forcing
+//! the victim line back to global state unmodified (the
+//! `READMOD (COLUMN, REPLY, INSERT)` overflow path in Appendix A).
+
+use std::collections::VecDeque;
+
+use crate::addr::LineAddr;
+
+/// Result of inserting into a [`ModifiedLineTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MltInsert {
+    /// The address was inserted (or already present) without overflow.
+    Inserted,
+    /// The table was full; the returned victim was dropped to make room.
+    /// The protocol must write the victim back and mark it shared.
+    Overflow(LineAddr),
+}
+
+/// A bounded table of line addresses held modified within one column.
+///
+/// Implemented as a FIFO-replacement cache of addresses: the paper leaves
+/// the replacement policy open, and FIFO matches its "hardware queues"
+/// simplicity argument. Every controller in a column holds an identical
+/// replica; the protocol keeps replicas in sync by snooping column-bus
+/// INSERT/REMOVE operations.
+///
+/// # Example
+///
+/// ```
+/// use multicube_mem::{LineAddr, MltInsert, ModifiedLineTable};
+///
+/// let mut mlt = ModifiedLineTable::new(2);
+/// assert_eq!(mlt.insert(LineAddr::new(1)), MltInsert::Inserted);
+/// assert_eq!(mlt.insert(LineAddr::new(2)), MltInsert::Inserted);
+/// // Full: inserting a third entry evicts the oldest.
+/// assert_eq!(
+///     mlt.insert(LineAddr::new(3)),
+///     MltInsert::Overflow(LineAddr::new(1))
+/// );
+/// assert!(mlt.contains(&LineAddr::new(2)));
+/// assert!(!mlt.contains(&LineAddr::new(1)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModifiedLineTable {
+    capacity: usize,
+    // FIFO order; small in tests, hash-free keeps replicas comparable.
+    entries: VecDeque<LineAddr>,
+}
+
+impl ModifiedLineTable {
+    /// Creates a table holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "modified line table needs capacity");
+        ModifiedLineTable {
+            capacity,
+            entries: VecDeque::new(),
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `line` is recorded as modified in this column.
+    pub fn contains(&self, line: &LineAddr) -> bool {
+        self.entries.contains(line)
+    }
+
+    /// Inserts `line`, evicting the oldest entry on overflow.
+    ///
+    /// Inserting an already-present address refreshes nothing and reports
+    /// [`MltInsert::Inserted`] (the table is a set).
+    pub fn insert(&mut self, line: LineAddr) -> MltInsert {
+        if self.entries.contains(&line) {
+            return MltInsert::Inserted;
+        }
+        if self.entries.len() >= self.capacity {
+            let victim = self
+                .entries
+                .pop_front()
+                .expect("full table has a front entry");
+            self.entries.push_back(line);
+            return MltInsert::Overflow(victim);
+        }
+        self.entries.push_back(line);
+        MltInsert::Inserted
+    }
+
+    /// Removes `line`; returns whether it was present.
+    ///
+    /// A failed remove is meaningful to the protocol: in
+    /// `READ (COLUMN, REQUEST, REMOVE)` a losing racer observes
+    /// `remove failed` and reissues its request.
+    pub fn remove(&mut self, line: &LineAddr) -> bool {
+        if let Some(pos) = self.entries.iter().position(|e| e == line) {
+            self.entries.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Iterates over the entries, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &LineAddr> {
+        self.entries.iter()
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(i: u64) -> LineAddr {
+        LineAddr::new(i)
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut mlt = ModifiedLineTable::new(4);
+        assert_eq!(mlt.insert(line(7)), MltInsert::Inserted);
+        assert!(mlt.contains(&line(7)));
+        assert!(mlt.remove(&line(7)));
+        assert!(!mlt.contains(&line(7)));
+        assert!(!mlt.remove(&line(7)), "second remove fails");
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let mut mlt = ModifiedLineTable::new(2);
+        mlt.insert(line(1));
+        assert_eq!(mlt.insert(line(1)), MltInsert::Inserted);
+        assert_eq!(mlt.len(), 1);
+    }
+
+    #[test]
+    fn overflow_evicts_oldest() {
+        let mut mlt = ModifiedLineTable::new(3);
+        for i in 0..3 {
+            mlt.insert(line(i));
+        }
+        assert_eq!(mlt.insert(line(10)), MltInsert::Overflow(line(0)));
+        assert_eq!(mlt.len(), 3);
+        let held: Vec<_> = mlt.iter().copied().collect();
+        assert_eq!(held, vec![line(1), line(2), line(10)]);
+    }
+
+    #[test]
+    fn replicas_stay_identical_under_same_ops() {
+        let mut a = ModifiedLineTable::new(4);
+        let mut b = ModifiedLineTable::new(4);
+        let ops: &[(bool, u64)] = &[
+            (true, 1),
+            (true, 2),
+            (false, 1),
+            (true, 3),
+            (true, 4),
+            (true, 5),
+            (true, 6), // overflow
+            (false, 9),
+        ];
+        for &(is_insert, l) in ops {
+            if is_insert {
+                assert_eq!(a.insert(line(l)), b.insert(line(l)));
+            } else {
+                assert_eq!(a.remove(&line(l)), b.remove(&line(l)));
+            }
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut mlt = ModifiedLineTable::new(2);
+        mlt.insert(line(1));
+        mlt.clear();
+        assert!(mlt.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "needs capacity")]
+    fn zero_capacity_panics() {
+        let _ = ModifiedLineTable::new(0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the memory-hierarchy containers.
+
+use multicube_mem::{
+    CacheGeometry, LineAddr, LineGeometry, MemoryBank, LineVersion, MltInsert,
+    ModifiedLineTable, SetAssocCache, WordAddr,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+#[derive(Debug, Clone)]
+enum CacheOp {
+    Insert(u64, u32),
+    Get(u64),
+    Remove(u64),
+}
+
+fn cache_ops() -> impl Strategy<Value = Vec<CacheOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..64, any::<u32>()).prop_map(|(l, m)| CacheOp::Insert(l, m)),
+            (0u64..64).prop_map(CacheOp::Get),
+            (0u64..64).prop_map(CacheOp::Remove),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    /// The cache never exceeds its capacity and set residency never exceeds
+    /// the way count, under arbitrary operation sequences.
+    #[test]
+    fn cache_capacity_is_never_exceeded(
+        ops in cache_ops(),
+        sets in 1u32..8,
+        ways in 1u32..5,
+    ) {
+        let geom = CacheGeometry::new(sets, ways);
+        let mut cache: SetAssocCache<u32> = SetAssocCache::new(geom);
+        for op in ops {
+            match op {
+                CacheOp::Insert(l, m) => { cache.insert(LineAddr::new(l), m); }
+                CacheOp::Get(l) => { cache.get(&LineAddr::new(l)); }
+                CacheOp::Remove(l) => { cache.remove(&LineAddr::new(l)); }
+            }
+            prop_assert!(cache.len() <= geom.capacity() as usize);
+            // Per-set residency: group resident lines by set index.
+            let mut counts = vec![0u32; sets as usize];
+            for (line, _) in cache.iter() {
+                counts[(line.index() % sets as u64) as usize] += 1;
+            }
+            prop_assert!(counts.iter().all(|&c| c <= ways));
+        }
+    }
+
+    /// A line reported evicted is really gone, and an inserted line is
+    /// really resident.
+    #[test]
+    fn eviction_reports_are_accurate(ops in cache_ops()) {
+        let mut cache: SetAssocCache<u32> = SetAssocCache::new(CacheGeometry::new(2, 2));
+        for op in ops {
+            if let CacheOp::Insert(l, m) = op {
+                let line = LineAddr::new(l);
+                let evicted = cache.insert(line, m);
+                prop_assert!(cache.contains(&line));
+                if let Some(ev) = evicted {
+                    prop_assert!(!cache.contains(&ev.line));
+                    prop_assert_ne!(ev.line, line);
+                }
+            }
+        }
+    }
+
+    /// The MLT holds no duplicates and never exceeds capacity; overflow
+    /// victims are distinct from the inserted line.
+    #[test]
+    fn mlt_set_semantics(
+        inserts in prop::collection::vec(0u64..32, 0..100),
+        capacity in 1usize..8,
+    ) {
+        let mut mlt = ModifiedLineTable::new(capacity);
+        for l in inserts {
+            let line = LineAddr::new(l);
+            match mlt.insert(line) {
+                MltInsert::Inserted => {}
+                MltInsert::Overflow(victim) => prop_assert_ne!(victim, line),
+            }
+            prop_assert!(mlt.contains(&line));
+            prop_assert!(mlt.len() <= capacity);
+            let set: HashSet<_> = mlt.iter().collect();
+            prop_assert_eq!(set.len(), mlt.len());
+        }
+    }
+
+    /// Memory bank: read-after-write returns the written version; the valid
+    /// bit gates reads exactly.
+    #[test]
+    fn memory_bank_read_your_writes(
+        writes in prop::collection::vec((0u64..16, 1u64..1000), 1..50),
+    ) {
+        let mut bank = MemoryBank::new();
+        let mut model = std::collections::HashMap::new();
+        for (l, v) in writes {
+            let line = LineAddr::new(l);
+            bank.write(line, LineVersion::new(v));
+            model.insert(line, LineVersion::new(v));
+            prop_assert_eq!(bank.read_valid(&line), Some(LineVersion::new(v)));
+        }
+        for (line, v) in model {
+            prop_assert_eq!(bank.read_valid(&line), Some(v));
+        }
+    }
+
+    /// Line geometry: line_of/first_word/word_offset are mutually consistent
+    /// for all block sizes the paper considers.
+    #[test]
+    fn geometry_consistency(addr in any::<u32>(), shift in 0u32..7) {
+        let words = 1u32 << shift; // 1..64
+        let g = LineGeometry::new(words).unwrap();
+        let w = WordAddr::new(addr as u64);
+        let line = g.line_of(w);
+        let off = g.word_offset(w);
+        prop_assert!(off < words);
+        prop_assert_eq!(g.first_word(line).value() + off as u64, w.value());
+    }
+}

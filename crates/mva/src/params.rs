@@ -1,0 +1,136 @@
+//! Model parameters, mirroring the paper's figure captions.
+
+use serde::{Deserialize, Serialize};
+
+/// How data replies move across their two bus legs (§5 latency-reduction
+/// techniques, analyzed analytically in \[LeVe88\]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum DataMovement {
+    /// Whole blocks, store-and-forward: the baseline of Figures 2–4.
+    #[default]
+    StoreAndForward,
+    /// Cut-through: the intermediate controller starts the second leg as
+    /// soon as the first word arrives, hiding most of the first leg's
+    /// transfer time.
+    CutThrough,
+    /// Requested word first: the processor resumes after the header and
+    /// first word of the final leg.
+    RequestedWordFirst,
+    /// Cut-through plus requested-word-first.
+    CutThroughWordFirst,
+    /// The line moves in fixed-size pieces of the given word count.
+    Pieces(u32),
+}
+
+/// Inputs to the mean-value model.
+///
+/// Defaults are the Figure 2 caption: 16-word blocks, 50 ns per bus word,
+/// 750 ns snooping-cache and memory latency, `P(unmodified) = 0.8`,
+/// `P(invalidation | write miss to unmodified) = 0.2`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelParams {
+    /// Processors per bus (grid side); the machine has `n^2` processors.
+    pub n: u32,
+    /// Coherency/transfer block size in bus words.
+    pub block_words: u32,
+    /// Bus word transfer time (ns).
+    pub word_ns: f64,
+    /// Address/command-only bus operation time (ns).
+    pub addr_op_ns: f64,
+    /// Snooping-cache and memory access latency (ns).
+    pub device_latency_ns: f64,
+    /// Fraction of bus requests that are writes (READ-MOD).
+    pub p_write: f64,
+    /// Probability the requested line is in global state unmodified.
+    pub p_unmodified: f64,
+    /// Probability a write miss to unmodified data requires an
+    /// invalidation broadcast (the Figure 3 sweep parameter).
+    pub p_invalidation: f64,
+    /// Data-movement technique.
+    pub movement: DataMovement,
+}
+
+impl Default for ModelParams {
+    fn default() -> Self {
+        ModelParams::figure2(32)
+    }
+}
+
+impl ModelParams {
+    /// The Figure 2 parameter set for a grid of side `n`.
+    pub fn figure2(n: u32) -> Self {
+        ModelParams {
+            n,
+            block_words: 16,
+            word_ns: 50.0,
+            addr_op_ns: 50.0,
+            device_latency_ns: 750.0,
+            p_write: 0.3,
+            p_unmodified: 0.8,
+            p_invalidation: 0.2,
+            movement: DataMovement::StoreAndForward,
+        }
+    }
+
+    /// The Figure 3 parameter set: 1 K processors, sweeping the fraction
+    /// of write misses that hit shared data.
+    pub fn figure3(p_invalidation: f64) -> Self {
+        ModelParams {
+            p_invalidation,
+            ..ModelParams::figure2(32)
+        }
+    }
+
+    /// The Figure 4 parameter set: 1 K processors, sweeping block size.
+    pub fn figure4(block_words: u32) -> Self {
+        ModelParams {
+            block_words,
+            ..ModelParams::figure2(32)
+        }
+    }
+
+    /// Bus time of an address-only operation (ns).
+    pub fn addr_op(&self) -> f64 {
+        self.addr_op_ns
+    }
+
+    /// Bus time of a whole-block data operation (ns).
+    pub fn data_op(&self) -> f64 {
+        self.addr_op_ns + self.word_ns * self.block_words as f64
+    }
+
+    /// Total processors.
+    pub fn processors(&self) -> u32 {
+        self.n * self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_matches_caption() {
+        let p = ModelParams::figure2(32);
+        assert_eq!(p.processors(), 1024);
+        assert_eq!(p.block_words, 16);
+        assert_eq!(p.p_unmodified, 0.8);
+        assert_eq!(p.p_invalidation, 0.2);
+        assert_eq!(p.word_ns, 50.0);
+        assert_eq!(p.device_latency_ns, 750.0);
+    }
+
+    #[test]
+    fn op_times() {
+        let p = ModelParams::figure2(8);
+        assert_eq!(p.addr_op(), 50.0);
+        assert_eq!(p.data_op(), 50.0 + 16.0 * 50.0);
+    }
+
+    #[test]
+    fn figure_variants_override_one_knob() {
+        assert_eq!(ModelParams::figure3(0.5).p_invalidation, 0.5);
+        assert_eq!(ModelParams::figure4(64).block_words, 64);
+        assert_eq!(ModelParams::figure4(64).n, 32);
+    }
+}

@@ -1,0 +1,39 @@
+//! Discrete-event simulation kernel for the Wisconsin Multicube reproduction.
+//!
+//! This crate provides the substrate every simulator in the workspace is built
+//! on: a monotonic simulated clock ([`SimTime`]), a stable priority event
+//! queue ([`EventQueue`]), statistics accumulators ([`stats`]), and a
+//! deterministic random-number source ([`rng`]).
+//!
+//! The kernel is deliberately *typed*: the machine model owns an event enum
+//! and dispatches it itself, instead of the kernel invoking boxed callbacks.
+//! This keeps the hot path free of allocation and dynamic dispatch and makes
+//! simulations reproducible and easy to snapshot.
+//!
+//! # Example
+//!
+//! ```
+//! use multicube_sim::{EventQueue, SimTime};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Ping, Pong }
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule_after(10, Ev::Pong);
+//! q.schedule_after(5, Ev::Ping);
+//!
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!((t, ev), (SimTime::from_nanos(5), Ev::Ping));
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!((t, ev), (SimTime::from_nanos(10), Ev::Pong));
+//! assert!(q.pop().is_none());
+//! ```
+
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use rng::DeterministicRng;
+pub use time::{SimDuration, SimTime};

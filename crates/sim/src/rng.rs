@@ -1,0 +1,268 @@
+//! Deterministic random-number generation for simulations.
+//!
+//! Everything stochastic in the workspace — workload generation, victim
+//! selection, failure injection — draws from a [`DeterministicRng`] seeded
+//! explicitly, so a simulation is a pure function of its configuration and
+//! seed. Identical seeds produce identical runs, which the integration
+//! tests assert.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seeded random source with the distribution helpers simulations need.
+///
+/// Wraps [`rand::rngs::StdRng`] (a cryptographically strong, portable,
+/// reproducible generator) and adds the small set of distributions used by
+/// the workload model: Bernoulli trials, uniform ranges, and exponential
+/// inter-arrival times.
+///
+/// # Example
+///
+/// ```
+/// use multicube_sim::DeterministicRng;
+///
+/// let mut a = DeterministicRng::seed(7);
+/// let mut b = DeterministicRng::seed(7);
+/// let xs: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+/// let ys: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+/// assert_eq!(xs, ys);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeterministicRng {
+    inner: StdRng,
+}
+
+impl DeterministicRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed(seed: u64) -> Self {
+        DeterministicRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child stream, e.g. one per processor.
+    ///
+    /// Each `(parent seed, index)` pair yields a distinct, reproducible
+    /// stream; streams with different indices are statistically independent
+    /// for simulation purposes.
+    pub fn child(&mut self, index: u64) -> Self {
+        // Mix the next parent draw with the index via SplitMix64 finalization.
+        let mut z = self.next_u64() ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        DeterministicRng::seed(z)
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// A uniform value in `[0, 1)`.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// A uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// A Bernoulli trial that succeeds with probability `p`.
+    ///
+    /// `p` is clamped to `[0, 1]`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p.clamp(0.0, 1.0)
+    }
+
+    /// An exponentially distributed value with the given mean.
+    ///
+    /// Used for inter-arrival (think) times in the open workload model.
+    /// Returns `mean` itself if `mean` is not finite and positive.
+    #[inline]
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        if !(mean.is_finite() && mean > 0.0) {
+            return mean;
+        }
+        // Inverse-CDF; 1-u avoids ln(0).
+        let u = self.uniform();
+        -mean * (1.0 - u).ln()
+    }
+
+    /// A Zipf-distributed index in `[0, n)` with skew `theta` in `(0, 1)`:
+    /// index 0 is the hottest. Uses the classic Knuth/Gray approximation
+    /// (inverse transform over the generalized harmonic numbers is
+    /// approximated by a power law), adequate for workload generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is not in `(0, 1)`.
+    pub fn zipf(&mut self, n: u64, theta: f64) -> u64 {
+        assert!(n > 0, "zipf needs a nonempty domain");
+        assert!(
+            theta > 0.0 && theta < 1.0,
+            "zipf skew must be in (0, 1), got {theta}"
+        );
+        // Inverse-CDF of the continuous approximation:
+        //   F(x) ~ (x/n)^(1-theta)  =>  x = n * u^(1/(1-theta)).
+        let u = self.uniform();
+        let x = (n as f64) * u.powf(1.0 / (1.0 - theta));
+        (x as u64).min(n - 1)
+    }
+
+    /// Picks a uniformly random element index different from `exclude`,
+    /// in `[0, bound)`. Useful for "some other processor" choices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound < 2`.
+    pub fn below_excluding(&mut self, bound: u64, exclude: u64) -> u64 {
+        assert!(bound >= 2, "need at least two choices");
+        let raw = self.below(bound - 1);
+        if raw >= exclude {
+            raw + 1
+        } else {
+            raw
+        }
+    }
+}
+
+impl RngCore for DeterministicRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DeterministicRng::seed(123);
+        let mut b = DeterministicRng::seed(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DeterministicRng::seed(1);
+        let mut b = DeterministicRng::seed(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 16);
+    }
+
+    #[test]
+    fn child_streams_are_reproducible_and_distinct() {
+        let mut p1 = DeterministicRng::seed(9);
+        let mut p2 = DeterministicRng::seed(9);
+        let mut c0a = p1.child(0);
+        let mut c0b = p2.child(0);
+        assert_eq!(c0a.next_u64(), c0b.next_u64());
+
+        let mut p3 = DeterministicRng::seed(9);
+        let mut c0 = p3.child(0);
+        let mut p4 = DeterministicRng::seed(9);
+        let mut c1 = p4.child(1);
+        assert_ne!(c0.next_u64(), c1.next_u64());
+    }
+
+    #[test]
+    fn uniform_is_in_unit_interval() {
+        let mut r = DeterministicRng::seed(5);
+        for _ in 0..1000 {
+            let u = r.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = DeterministicRng::seed(5);
+        assert!((0..100).all(|_| r.chance(1.0)));
+        assert!((0..100).all(|_| !r.chance(0.0)));
+    }
+
+    #[test]
+    fn chance_probability_roughly_respected() {
+        let mut r = DeterministicRng::seed(5);
+        let hits = (0..10_000).filter(|_| r.chance(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn exponential_mean_roughly_respected() {
+        let mut r = DeterministicRng::seed(11);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.exponential(40.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 40.0).abs() < 2.0, "mean={mean}");
+    }
+
+    #[test]
+    fn exponential_degenerate_mean_passthrough() {
+        let mut r = DeterministicRng::seed(11);
+        assert_eq!(r.exponential(0.0), 0.0);
+    }
+
+    #[test]
+    fn below_excluding_never_returns_excluded() {
+        let mut r = DeterministicRng::seed(3);
+        for _ in 0..1000 {
+            let v = r.below_excluding(8, 3);
+            assert!(v < 8 && v != 3);
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_zero() {
+        let mut r = DeterministicRng::seed(21);
+        let n = 1000;
+        let mut counts = vec![0u32; n as usize];
+        for _ in 0..50_000 {
+            counts[r.zipf(n, 0.8) as usize] += 1;
+        }
+        // The hottest item dominates any mid-range item by a wide margin.
+        assert!(counts[0] > counts[100] * 5, "{} vs {}", counts[0], counts[100]);
+        // The whole domain is reachable.
+        assert!(counts.iter().filter(|&&c| c > 0).count() > 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "skew must be in")]
+    fn zipf_rejects_bad_theta() {
+        let mut r = DeterministicRng::seed(1);
+        let _ = r.zipf(10, 1.5);
+    }
+
+    #[test]
+    fn below_covers_range() {
+        let mut r = DeterministicRng::seed(3);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.below(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,132 @@
+//! Lock disciplines: spinning remote test-and-set vs. the distributed
+//! queue lock.
+
+use std::collections::VecDeque;
+
+use multicube_topology::NodeId;
+
+/// What a waiter does after a failed test-and-set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailAction {
+    /// Retry the test-and-set immediately (bus spinning).
+    Respin,
+    /// Join the FIFO queue and spin locally until handed the lock.
+    Enqueue,
+}
+
+/// A lock acquisition discipline (sealed to the two paper variants).
+///
+/// Implemented by [`SpinLock`] and [`QueueLock`]; used as a type parameter
+/// of [`crate::LockExperiment::run`].
+pub trait Discipline: private::Sealed + Default {
+    /// Human-readable name for reports.
+    const NAME: &'static str;
+
+    /// Called when a node's test-and-set fails.
+    fn on_fail(&mut self, node: NodeId) -> FailAction;
+
+    /// Called when the holder releases; returns the waiter to hand the
+    /// lock to, if the discipline queues waiters.
+    fn on_release(&mut self) -> Option<NodeId>;
+
+    /// Called when a designated heir's handoff test-and-set lost to a
+    /// thief (the paper's locks are only *usually* first-come-first-served).
+    /// Default: treat like an ordinary failure.
+    fn on_handoff_fail(&mut self, node: NodeId) {
+        let _ = self.on_fail(node);
+    }
+
+    /// Number of waiters currently queued (0 for the spinning discipline).
+    fn queued(&self) -> usize;
+}
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for super::SpinLock {}
+    impl Sealed for super::QueueLock {}
+}
+
+/// The baseline: waiters retry the remote test-and-set continuously.
+///
+/// This is what the paper wants to avoid for contended locks: every retry
+/// is a bus transaction, so traffic grows with contention and hold time.
+#[derive(Debug, Default)]
+pub struct SpinLock;
+
+impl Discipline for SpinLock {
+    const NAME: &'static str = "spin-tas";
+
+    fn on_fail(&mut self, _node: NodeId) -> FailAction {
+        FailAction::Respin
+    }
+
+    fn on_release(&mut self) -> Option<NodeId> {
+        None
+    }
+
+    fn queued(&self) -> usize {
+        0
+    }
+}
+
+/// The §4 distributed queue lock.
+///
+/// A waiter pays one (failed) test-and-set transaction to join, then spins
+/// locally — zero bus traffic — until the releaser hands it the line. The
+/// queue models the paper's linked list threaded through the waiters'
+/// caches ("a distributed queue with a linked list, occupying a single
+/// word in different copies of the line"); the join bookkeeping rides on
+/// the transaction the waiter already issued. Handoff is first-come,
+/// first-served.
+#[derive(Debug, Default)]
+pub struct QueueLock {
+    queue: VecDeque<NodeId>,
+}
+
+impl Discipline for QueueLock {
+    const NAME: &'static str = "queue-sync";
+
+    fn on_fail(&mut self, node: NodeId) -> FailAction {
+        self.queue.push_back(node);
+        FailAction::Enqueue
+    }
+
+    fn on_release(&mut self) -> Option<NodeId> {
+        self.queue.pop_front()
+    }
+
+    fn on_handoff_fail(&mut self, node: NodeId) {
+        // Keep the robbed heir at the head of the queue.
+        self.queue.push_front(node);
+    }
+
+    fn queued(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spin_lock_always_respins() {
+        let mut d = SpinLock;
+        assert_eq!(d.on_fail(NodeId::new(1)), FailAction::Respin);
+        assert_eq!(d.on_release(), None);
+        assert_eq!(d.queued(), 0);
+    }
+
+    #[test]
+    fn queue_lock_is_fifo() {
+        let mut d = QueueLock::default();
+        for i in 0..4 {
+            assert_eq!(d.on_fail(NodeId::new(i)), FailAction::Enqueue);
+        }
+        assert_eq!(d.queued(), 4);
+        for i in 0..4 {
+            assert_eq!(d.on_release(), Some(NodeId::new(i)));
+        }
+        assert_eq!(d.on_release(), None);
+    }
+}

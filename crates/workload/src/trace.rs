@@ -1,0 +1,345 @@
+//! Request-trace recording and replay.
+//!
+//! The paper laments that "very little data has been published on the
+//! memory reference behavior of parallel programs"; a reproducible trace
+//! format is the tooling answer. A [`Trace`] captures the exact request
+//! stream a workload generated (per node, with think delays), can be
+//! serialized to a compact binary format, and replays as a [`Workload`] —
+//! so an interesting run can be archived and re-examined under different
+//! machine configurations.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use multicube::{Request, RequestKind};
+use multicube_mem::LineAddr;
+use multicube_sim::DeterministicRng;
+use multicube_topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::runner::Workload;
+
+/// One recorded request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// The issuing node.
+    pub node: u32,
+    /// Think delay before the request (ns).
+    pub delay_ns: u64,
+    /// Request kind (encoded).
+    pub kind: u8,
+    /// Target line index.
+    pub line: u64,
+}
+
+fn encode_kind(kind: RequestKind) -> u8 {
+    match kind {
+        RequestKind::Read => 0,
+        RequestKind::Write => 1,
+        RequestKind::Allocate => 2,
+        RequestKind::TestAndSet => 3,
+        RequestKind::Writeback => 4,
+    }
+}
+
+fn decode_kind(code: u8) -> Option<RequestKind> {
+    Some(match code {
+        0 => RequestKind::Read,
+        1 => RequestKind::Write,
+        2 => RequestKind::Allocate,
+        3 => RequestKind::TestAndSet,
+        4 => RequestKind::Writeback,
+        _ => return None,
+    })
+}
+
+/// Error from decoding a binary trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceDecodeError {
+    /// The buffer does not start with the trace magic.
+    BadMagic,
+    /// The buffer ended mid-record.
+    Truncated,
+    /// A record carried an unknown request-kind code.
+    BadKind(u8),
+}
+
+impl core::fmt::Display for TraceDecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TraceDecodeError::BadMagic => write!(f, "not a multicube trace"),
+            TraceDecodeError::Truncated => write!(f, "trace truncated mid-record"),
+            TraceDecodeError::BadKind(k) => write!(f, "unknown request kind code {k}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceDecodeError {}
+
+const MAGIC: &[u8; 8] = b"MCUBTRC1";
+
+/// A recorded request stream.
+///
+/// # Example
+///
+/// ```
+/// use multicube::{Machine, MachineConfig};
+/// use multicube_workload::{Oltp, Trace, WorkloadRunner};
+///
+/// // Record an OLTP run...
+/// let mut m = Machine::new(MachineConfig::grid(2).unwrap(), 3).unwrap();
+/// let mut recorder = Trace::recording(Oltp::new(8));
+/// WorkloadRunner::new(10).run(&mut m, &mut recorder);
+/// let trace = recorder.into_trace();
+///
+/// // ...serialize, deserialize, and replay it bit-identically.
+/// let bytes = trace.to_bytes();
+/// let replayed = Trace::from_bytes(&bytes).unwrap();
+/// assert_eq!(trace, replayed);
+///
+/// let mut m2 = Machine::new(MachineConfig::grid(2).unwrap(), 3).unwrap();
+/// let report = WorkloadRunner::new(10).run(&mut m2, &mut replayed.player());
+/// assert_eq!(report.requests_completed, 40);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Wraps a workload in a recorder that captures everything it emits.
+    pub fn recording<W: Workload>(inner: W) -> TraceRecorder<W> {
+        TraceRecorder {
+            inner,
+            trace: Trace::new(),
+        }
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, node: NodeId, delay_ns: u64, request: Request) {
+        self.records.push(TraceRecord {
+            node: node.index(),
+            delay_ns,
+            kind: encode_kind(request.kind),
+            line: request.line.index(),
+        });
+    }
+
+    /// Number of recorded requests.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over the records in recording order.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Serializes to the compact binary format.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(8 + 4 + self.records.len() * 21);
+        buf.put_slice(MAGIC);
+        buf.put_u32(self.records.len() as u32);
+        for r in &self.records {
+            buf.put_u32(r.node);
+            buf.put_u64(r.delay_ns);
+            buf.put_u8(r.kind);
+            buf.put_u64(r.line);
+        }
+        buf.freeze()
+    }
+
+    /// Deserializes from the binary format.
+    ///
+    /// # Errors
+    ///
+    /// See [`TraceDecodeError`].
+    pub fn from_bytes(mut data: &[u8]) -> Result<Self, TraceDecodeError> {
+        if data.len() < 12 || &data[..8] != MAGIC {
+            return Err(TraceDecodeError::BadMagic);
+        }
+        data.advance(8);
+        let count = data.get_u32() as usize;
+        let mut records = Vec::with_capacity(count);
+        for _ in 0..count {
+            if data.remaining() < 21 {
+                return Err(TraceDecodeError::Truncated);
+            }
+            let node = data.get_u32();
+            let delay_ns = data.get_u64();
+            let kind = data.get_u8();
+            let line = data.get_u64();
+            decode_kind(kind).ok_or(TraceDecodeError::BadKind(kind))?;
+            records.push(TraceRecord {
+                node,
+                delay_ns,
+                kind,
+                line,
+            });
+        }
+        Ok(Trace { records })
+    }
+
+    /// A replaying [`Workload`] over this trace: each node receives its
+    /// own recorded requests in order.
+    pub fn player(&self) -> TracePlayer {
+        TracePlayer {
+            trace: self.clone(),
+            cursor: Vec::new(),
+        }
+    }
+}
+
+/// Records the requests another workload produces (see
+/// [`Trace::recording`]).
+#[derive(Debug)]
+pub struct TraceRecorder<W> {
+    inner: W,
+    trace: Trace,
+}
+
+impl<W> TraceRecorder<W> {
+    /// Finishes recording and returns the trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+}
+
+impl<W: Workload> Workload for TraceRecorder<W> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn next(&mut self, node: NodeId, rng: &mut DeterministicRng) -> Option<(u64, Request)> {
+        let (delay, req) = self.inner.next(node, rng)?;
+        self.trace.push(node, delay, req);
+        Some((delay, req))
+    }
+}
+
+/// Replays a [`Trace`] as a [`Workload`].
+#[derive(Debug, Clone)]
+pub struct TracePlayer {
+    trace: Trace,
+    /// Per-node scan position into the trace.
+    cursor: Vec<usize>,
+}
+
+impl Workload for TracePlayer {
+    fn name(&self) -> &'static str {
+        "trace-replay"
+    }
+
+    fn next(&mut self, node: NodeId, _rng: &mut DeterministicRng) -> Option<(u64, Request)> {
+        let idx = node.as_usize();
+        if self.cursor.len() <= idx {
+            self.cursor.resize(idx + 1, 0);
+        }
+        let start = self.cursor[idx];
+        for (pos, r) in self.trace.records.iter().enumerate().skip(start) {
+            if r.node == node.index() {
+                self.cursor[idx] = pos + 1;
+                let kind = decode_kind(r.kind).expect("validated at decode");
+                return Some((r.delay_ns, Request::new(kind, LineAddr::new(r.line))));
+            }
+        }
+        self.cursor[idx] = self.trace.records.len();
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::Oltp;
+    use crate::runner::WorkloadRunner;
+    use multicube::{Machine, MachineConfig};
+
+    #[test]
+    fn roundtrip_binary_format() {
+        let mut t = Trace::new();
+        t.push(NodeId::new(3), 1000, Request::read(LineAddr::new(7)));
+        t.push(
+            NodeId::new(1),
+            2000,
+            Request::new(RequestKind::TestAndSet, LineAddr::new(9)),
+        );
+        let bytes = t.to_bytes();
+        assert_eq!(Trace::from_bytes(&bytes).unwrap(), t);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(
+            Trace::from_bytes(b"notatrace"),
+            Err(TraceDecodeError::BadMagic)
+        );
+        let mut bytes = Trace::new().to_bytes().to_vec();
+        bytes[8..12].copy_from_slice(&5u32.to_be_bytes()); // claim 5 records
+        assert_eq!(
+            Trace::from_bytes(&bytes),
+            Err(TraceDecodeError::Truncated)
+        );
+    }
+
+    #[test]
+    fn decode_rejects_unknown_kind() {
+        let mut t = Trace::new();
+        t.push(NodeId::new(0), 0, Request::read(LineAddr::new(0)));
+        let mut bytes = t.to_bytes().to_vec();
+        bytes[8 + 4 + 12] = 99; // corrupt the kind byte
+        assert_eq!(
+            Trace::from_bytes(&bytes),
+            Err(TraceDecodeError::BadKind(99))
+        );
+    }
+
+    #[test]
+    fn record_then_replay_gives_identical_machine_behaviour() {
+        let run_recorded = || {
+            let mut m = Machine::new(MachineConfig::grid(2).unwrap(), 5).unwrap();
+            let mut rec = Trace::recording(Oltp::new(8));
+            let report = WorkloadRunner::new(25).run(&mut m, &mut rec);
+            (rec.into_trace(), report.bus_ops, report.requests_completed)
+        };
+        let (trace, ops, completed) = run_recorded();
+
+        let mut m2 = Machine::new(MachineConfig::grid(2).unwrap(), 5).unwrap();
+        let replay = WorkloadRunner::new(25).run(&mut m2, &mut trace.player());
+        assert_eq!(replay.requests_completed, completed);
+        assert_eq!(replay.bus_ops, ops, "replay must be bit-identical");
+    }
+
+    #[test]
+    fn replay_on_different_machine_config_is_valid() {
+        let mut m = Machine::new(MachineConfig::grid(2).unwrap(), 5).unwrap();
+        let mut rec = Trace::recording(Oltp::new(8));
+        WorkloadRunner::new(15).run(&mut m, &mut rec);
+        let trace = rec.into_trace();
+
+        // Same trace, different block size: still coherent and complete.
+        let config = MachineConfig::grid(2).unwrap().with_block_words(64);
+        let mut m2 = Machine::new(config, 99).unwrap();
+        let report = WorkloadRunner::new(15).run(&mut m2, &mut trace.player());
+        assert_eq!(report.requests_completed, 60);
+    }
+
+    #[test]
+    fn player_exhausts_cleanly() {
+        let mut t = Trace::new();
+        t.push(NodeId::new(0), 10, Request::read(LineAddr::new(1)));
+        let mut p = t.player();
+        let mut rng = DeterministicRng::seed(1);
+        assert!(p.next(NodeId::new(0), &mut rng).is_some());
+        assert!(p.next(NodeId::new(0), &mut rng).is_none());
+        assert!(p.next(NodeId::new(1), &mut rng).is_none());
+    }
+}

@@ -1,0 +1,149 @@
+//! Shape checks on the reproduced figures: who wins, in what order, and
+//! where the qualitative effects appear — run at reduced scale so they are
+//! fast enough for `cargo test`.
+
+use multicube_suite::machine::{LatencyMode, Machine, MachineConfig, SyntheticSpec};
+use multicube_suite::mva::figures;
+use multicube_suite::mva::{solve, ModelParams};
+
+fn sim_eff(config: MachineConfig, rate: f64, seed: u64) -> f64 {
+    let spec = SyntheticSpec::default().with_request_rate_per_ms(rate);
+    let mut m = Machine::new(config, seed).unwrap();
+    m.run_synthetic(&spec, 40).efficiency
+}
+
+// ---- Figure 2 ----------------------------------------------------------
+
+#[test]
+fn fig2_model_curves_keep_paper_order() {
+    let series = figures::figure2();
+    let labels: Vec<_> = series.iter().map(|s| s.label.clone()).collect();
+    assert_eq!(labels, ["n=8", "n=16", "n=24", "n=32"]);
+    for pair in series.windows(2) {
+        assert!(pair[0].tail_efficiency() > pair[1].tail_efficiency());
+    }
+}
+
+#[test]
+fn fig2_simulated_bigger_grids_lose_efficiency() {
+    let small = sim_eff(MachineConfig::grid(4).unwrap(), 25.0, 3);
+    let large = sim_eff(MachineConfig::grid(12).unwrap(), 25.0, 3);
+    assert!(small > large, "n=4 {small:.4} vs n=12 {large:.4}");
+}
+
+#[test]
+fn fig2_paper_design_point_holds() {
+    // "our goal is to support 1K processors at roughly ninety percent
+    // utilization ... an average access rate of less than twenty-five
+    // requests per millisecond per processor."
+    let model = solve(&ModelParams::figure2(32), 25.0).efficiency;
+    assert!(
+        (0.80..0.97).contains(&model),
+        "1K processors at 25 req/ms: {model:.4}"
+    );
+}
+
+// ---- Figure 3 ----------------------------------------------------------
+
+#[test]
+fn fig3_invalidation_effect_small_at_ninety_percent() {
+    // "in the range of ninety percent processing power, the effect of
+    // increasing invalidations is very small."
+    let lo = solve(&ModelParams::figure3(0.1), 10.0).efficiency;
+    let hi = solve(&ModelParams::figure3(0.5), 10.0).efficiency;
+    assert!(lo > 0.9 && hi > 0.9);
+    assert!((lo - hi).abs() < 0.01);
+}
+
+#[test]
+fn fig3_simulated_filter_ablation_orders_curves() {
+    // With the sharing-filter ablation, more invalidating writes mean more
+    // broadcast traffic — visible in utilization at a fixed rate.
+    let run = |inval: f64| {
+        let spec = SyntheticSpec::default()
+            .with_request_rate_per_ms(25.0)
+            .with_p_invalidation(inval);
+        let config = MachineConfig::grid(8).unwrap().with_broadcast_filter(true);
+        let mut m = Machine::new(config, 5).unwrap();
+        let r = m.run_synthetic(&spec, 40);
+        r.utilization.row_mean
+    };
+    let light = run(0.1);
+    let heavy = run(0.9);
+    assert!(
+        heavy > light,
+        "row load must grow with invalidations: {light:.4} vs {heavy:.4}"
+    );
+}
+
+// ---- Figure 4 ----------------------------------------------------------
+
+#[test]
+fn fig4_simulated_block_size_ordering() {
+    let b4 = sim_eff(
+        MachineConfig::grid(8).unwrap().with_block_words(4),
+        25.0,
+        4,
+    );
+    let b16 = sim_eff(
+        MachineConfig::grid(8).unwrap().with_block_words(16),
+        25.0,
+        4,
+    );
+    let b64 = sim_eff(
+        MachineConfig::grid(8).unwrap().with_block_words(64),
+        25.0,
+        4,
+    );
+    assert!(b4 > b16 && b16 > b64, "{b4:.4} {b16:.4} {b64:.4}");
+}
+
+#[test]
+fn fig4_rate_scaling_rescues_large_blocks() {
+    // The sloping dashed line: halving the rate as the block doubles.
+    let fixed = sim_eff(
+        MachineConfig::grid(8).unwrap().with_block_words(64),
+        25.0,
+        4,
+    );
+    let scaled = sim_eff(
+        MachineConfig::grid(8).unwrap().with_block_words(64),
+        25.0 * 16.0 / 64.0,
+        4,
+    );
+    assert!(scaled > fixed + 0.05, "{scaled:.4} vs {fixed:.4}");
+}
+
+// ---- E-5.1 latency techniques ------------------------------------------
+
+#[test]
+fn latency_modes_order_in_simulation() {
+    let base = sim_eff(MachineConfig::grid(8).unwrap(), 25.0, 6);
+    let rwf = sim_eff(
+        MachineConfig::grid(8)
+            .unwrap()
+            .with_latency_mode(LatencyMode::RequestedWordFirst),
+        25.0,
+        6,
+    );
+    assert!(rwf > base, "word-first {rwf:.4} must beat whole-block {base:.4}");
+}
+
+// ---- Model internals ----------------------------------------------------
+
+#[test]
+fn model_solver_is_stable_deep_in_saturation() {
+    // The block=64 high-rate corner used to oscillate; bisection must give
+    // a monotone curve.
+    let mut last = 1.0;
+    for rate in 1..=40 {
+        let s = solve(&ModelParams::figure4(64), rate as f64);
+        assert!(
+            s.efficiency <= last + 1e-9,
+            "efficiency not monotone at rate {rate}: {} > {last}",
+            s.efficiency
+        );
+        assert!(s.efficiency > 0.0);
+        last = s.efficiency;
+    }
+}
