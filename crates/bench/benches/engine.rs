@@ -26,8 +26,7 @@ fn event_queue(c: &mut Criterion) {
 fn cache_ops(c: &mut Criterion) {
     c.bench_function("set_assoc_cache_churn_10k", |b| {
         b.iter(|| {
-            let mut cache: SetAssocCache<u32> =
-                SetAssocCache::new(CacheGeometry::new(256, 4));
+            let mut cache: SetAssocCache<u32> = SetAssocCache::new(CacheGeometry::new(256, 4));
             for i in 0..10_000u64 {
                 cache.insert(LineAddr::new(i % 2048), i as u32);
                 cache.get(&LineAddr::new((i * 7) % 2048));

@@ -14,13 +14,14 @@
 //!   baseline  E-1.1: single-bus multi vs Multicube
 //!   ablations A-1..A-3: MLT sizing, signal-drop robustness, snarfing
 //!   kdim      E-6.1: the k-dimensional Multicube model (§6 future work)
+//!   telemetry per-bus utilization/queueing + per-class latency histograms
 //!   all       everything above
 //! ```
 
 use multicube_bench::{
-    baseline_rows, costs_table, mlt_rows, render_series, render_series_utilization,
-    robustness_rows, scaling_rows, sim_figure2, sim_figure3, sim_figure4,
-    sim_latency_modes, snarf_rows, sync_rows, SweepConfig,
+    baseline_rows, costs_table, mlt_rows, render_bus_telemetry, render_class_stats, render_series,
+    render_series_utilization, robustness_rows, scaling_rows, sim_figure2, sim_figure3,
+    sim_figure4, sim_latency_modes, snarf_rows, sync_rows, SweepConfig,
 };
 use multicube_mva::figures as mva;
 
@@ -72,20 +73,29 @@ fn big_side(opts: &Options) -> u32 {
 
 fn fig2(opts: &Options) {
     let model = mva::figure2();
-    println!("{}", render_series("Figure 2 (model): efficiency vs request rate, n = 8/16/24/32", &model));
+    println!(
+        "{}",
+        render_series(
+            "Figure 2 (model): efficiency vs request rate, n = 8/16/24/32",
+            &model
+        )
+    );
     opts.maybe_csv("fig2_model", &model);
     let sides = grid_sides(opts);
     let series = sim_figure2(&sides, &sweep(opts));
-    println!(
-        "{}",
-        render_series("Figure 2 (simulated)", &series)
-    );
+    println!("{}", render_series("Figure 2 (simulated)", &series));
     opts.maybe_csv("fig2_sim", &series);
 }
 
 fn fig3(opts: &Options) {
     let model = mva::figure3();
-    println!("{}", render_series("Figure 3 (model): effect of invalidations, 1K processors", &model));
+    println!(
+        "{}",
+        render_series(
+            "Figure 3 (model): effect of invalidations, 1K processors",
+            &model
+        )
+    );
     opts.maybe_csv("fig3_model", &model);
     let series = sim_figure3(&[0.1, 0.2, 0.3, 0.4, 0.5], big_side(opts), &sweep(opts));
     println!(
@@ -106,7 +116,13 @@ fn fig3(opts: &Options) {
 
 fn fig4(opts: &Options) {
     let model = mva::figure4();
-    println!("{}", render_series("Figure 4 (model): effect of block size, 1K processors", &model));
+    println!(
+        "{}",
+        render_series(
+            "Figure 4 (model): effect of block size, 1K processors",
+            &model
+        )
+    );
     opts.maybe_csv("fig4_model", &model);
     println!("Figure 4 sloping dashed line (rate halves as block doubles):");
     for p in mva::figure4_rate_scaled(16.0) {
@@ -122,7 +138,13 @@ fn fig4(opts: &Options) {
 }
 
 fn latency(opts: &Options) {
-    println!("{}", render_series("E-5.1 (model): latency-reduction techniques", &mva::latency_modes()));
+    println!(
+        "{}",
+        render_series(
+            "E-5.1 (model): latency-reduction techniques",
+            &mva::latency_modes()
+        )
+    );
     let series = sim_latency_modes(big_side(opts).min(16), &sweep(opts));
     println!("{}", render_series("E-5.1 (simulated)", &series));
 }
@@ -289,6 +311,38 @@ fn kdim(_opts: &Options) {
     println!();
 }
 
+fn telemetry(opts: &Options) {
+    use multicube::{Machine, MachineConfig, SyntheticSpec};
+    let n = if opts.quick { 4 } else { 8 };
+    let txns = opts.txns.unwrap_or(if opts.quick { 40 } else { 200 });
+    let spec = SyntheticSpec::default().with_request_rate_per_ms(15.0);
+    let mut m = Machine::new(MachineConfig::grid(n).unwrap(), 23).unwrap();
+    let report = m.run_synthetic(&spec, txns);
+    println!(
+        "{}",
+        render_bus_telemetry(
+            &format!("Telemetry: per-bus utilization and queueing (n = {n}, 15 req/ms)"),
+            &report
+        )
+    );
+    println!(
+        "{}",
+        render_class_stats(
+            &format!("Telemetry: per-class op counts and latency quantiles (n = {n})"),
+            &report
+        )
+    );
+    if let Some(dir) = &opts.csv {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        let bus_path = dir.join("telemetry_buses.csv");
+        multicube_bench::write_bus_telemetry_csv(&bus_path, &report).expect("write csv");
+        eprintln!("wrote {}", bus_path.display());
+        let class_path = dir.join("telemetry_classes.csv");
+        multicube_bench::write_class_stats_csv(&class_path, &report).expect("write csv");
+        eprintln!("wrote {}", class_path.display());
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut command = String::from("all");
@@ -326,6 +380,7 @@ fn main() {
         "baseline" => baseline(&opts),
         "ablations" => ablations(&opts),
         "kdim" => kdim(&opts),
+        "telemetry" => telemetry(&opts),
         "all" => {
             fig2(&opts);
             fig3(&opts);
@@ -337,6 +392,7 @@ fn main() {
             baseline(&opts);
             ablations(&opts);
             kdim(&opts);
+            telemetry(&opts);
         }
         other => panic!("unknown command {other}; see --help in the source header"),
     }

@@ -1,8 +1,10 @@
-//! CSV export of figure series, for plotting outside the harness.
+//! CSV export of figure series and run telemetry, for plotting outside
+//! the harness.
 
 use std::io::Write;
 use std::path::Path;
 
+use multicube::RunReport;
 use multicube_mva::FigureSeries;
 
 /// Writes one figure's series as a CSV table: a `rate_per_ms` column
@@ -11,10 +13,7 @@ use multicube_mva::FigureSeries;
 /// # Errors
 ///
 /// Propagates I/O errors from creating or writing the file.
-pub fn write_series_csv(
-    path: &Path,
-    series: &[FigureSeries],
-) -> std::io::Result<()> {
+pub fn write_series_csv(path: &Path, series: &[FigureSeries]) -> std::io::Result<()> {
     let mut f = std::fs::File::create(path)?;
     write!(f, "rate_per_ms")?;
     for s in series {
@@ -36,6 +35,65 @@ pub fn write_series_csv(
             }
         }
         writeln!(f)?;
+    }
+    Ok(())
+}
+
+/// Writes a run's per-bus telemetry: one row per bus with utilization,
+/// op counts and the observed queue high-water mark.
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating or writing the file.
+pub fn write_bus_telemetry_csv(path: &Path, report: &RunReport) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "bus,utilization,ops,data_ops,queue_high_water")?;
+    for b in &report.buses {
+        writeln!(
+            f,
+            "{},{},{},{},{}",
+            b.id, b.utilization, b.ops, b.data_ops, b.queue_high_water
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes a run's per-transaction-class statistics, including the latency
+/// histogram as `bucket_ns:count` pairs (power-of-two bucket lower bounds).
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating or writing the file.
+pub fn write_class_stats_csv(path: &Path, report: &RunReport) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(
+        f,
+        "class,count,mean_bus_ops,mean_latency_ns,p50_ns,p90_ns,p99_ns,latency_hist"
+    )?;
+    for (name, s) in report.metrics.classes() {
+        let q = |q: f64| {
+            s.latency_hist
+                .quantile(q)
+                .map(|v| v.to_string())
+                .unwrap_or_default()
+        };
+        let hist: Vec<String> = s
+            .latency_hist
+            .iter()
+            .map(|(bucket, count)| format!("{bucket}:{count}"))
+            .collect();
+        writeln!(
+            f,
+            "{},{},{},{},{},{},{},{}",
+            name.replace(',', ";"),
+            s.count,
+            s.bus_ops.mean(),
+            s.latency_ns.mean(),
+            q(0.5),
+            q(0.9),
+            q(0.99),
+            hist.join(" ")
+        )?;
     }
     Ok(())
 }
@@ -84,6 +142,33 @@ mod tests {
         assert_eq!(lines[0], "rate_per_ms,a,b;with-comma");
         assert!(lines[1].starts_with("1,0.9,0.7"));
         assert!(lines[2].starts_with("2,0.8,"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn telemetry_csvs_have_one_row_per_bus_and_class() {
+        use multicube::{Machine, MachineConfig, SyntheticSpec};
+        let mut m = Machine::new(MachineConfig::grid(4).unwrap(), 19).unwrap();
+        let report = m.run_synthetic(&SyntheticSpec::default(), 30);
+
+        let dir = std::env::temp_dir().join("multicube_telemetry_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let bus_path = dir.join("buses.csv");
+        write_bus_telemetry_csv(&bus_path, &report).unwrap();
+        let text = std::fs::read_to_string(&bus_path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "bus,utilization,ops,data_ops,queue_high_water");
+        // A 4x4 grid has 4 row buses and 4 column buses.
+        assert_eq!(lines.len(), 1 + 8);
+        assert!(lines[1].starts_with("row0,"));
+
+        let class_path = dir.join("classes.csv");
+        write_class_stats_csv(&class_path, &report).unwrap();
+        let text = std::fs::read_to_string(&class_path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1 + 8, "one row per transaction class");
+        assert!(lines.iter().any(|l| l.starts_with("READ unmodified,")));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -55,8 +55,7 @@ pub fn sim_series(
                 let seed = sweep.seed.wrapping_add(i as u64);
                 let txns = sweep.txns_per_node;
                 scope.spawn(move || {
-                    let mut machine =
-                        Machine::new(config, seed).expect("valid configuration");
+                    let mut machine = Machine::new(config, seed).expect("valid configuration");
                     let report = machine.run_synthetic(&spec, txns);
                     (
                         i,

@@ -149,10 +149,18 @@ pub fn costs_table(n: u32) -> Vec<CostRow> {
 
 /// The §6 scaling formulas for representative Multicube shapes (T-6.2).
 pub fn scaling_rows() -> Vec<ScalingReport> {
-    [(8u32, 2u8), (16, 2), (24, 2), (32, 2), (4, 3), (8, 3), (2, 10)]
-        .iter()
-        .map(|&(n, k)| ScalingReport::for_cube(&Multicube::new(n, k).expect("valid shape")))
-        .collect()
+    [
+        (8u32, 2u8),
+        (16, 2),
+        (24, 2),
+        (32, 2),
+        (4, 3),
+        (8, 3),
+        (2, 10),
+    ]
+    .iter()
+    .map(|&(n, k)| ScalingReport::for_cube(&Multicube::new(n, k).expect("valid shape")))
+    .collect()
 }
 
 /// One row of the E-4.1 lock-traffic comparison.
@@ -213,8 +221,7 @@ pub fn baseline_rows(rate_per_ms: f64, txns: u64) -> Vec<BaselineRow> {
             let spec = SyntheticSpec::default().with_request_rate_per_ms(rate_per_ms);
             let mut multi = SingleBusMulti::new(processors, 17);
             let multi_report = multi.run_synthetic(&spec, txns);
-            let mut cube =
-                Machine::new(MachineConfig::grid(side).unwrap(), 17).unwrap();
+            let mut cube = Machine::new(MachineConfig::grid(side).unwrap(), 17).unwrap();
             let cube_report = cube.run_synthetic(&spec, txns);
             BaselineRow {
                 processors,
@@ -224,6 +231,61 @@ pub fn baseline_rows(rate_per_ms: f64, txns: u64) -> Vec<BaselineRow> {
             }
         })
         .collect()
+}
+
+/// Renders a run's per-bus telemetry — utilization, op counts and queue
+/// high-water per row/column bus — as an ASCII table.
+pub fn render_bus_telemetry(title: &str, report: &multicube::RunReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    out.push_str(&format!(
+        "{:>8} {:>12} {:>10} {:>10} {:>12}\n",
+        "bus", "utilization", "ops", "data ops", "queue high"
+    ));
+    for b in &report.buses {
+        out.push_str(&format!(
+            "{:>8} {:>12.4} {:>10} {:>10} {:>12}\n",
+            b.id.to_string(),
+            b.utilization,
+            b.ops,
+            b.data_ops,
+            b.queue_high_water
+        ));
+    }
+    out
+}
+
+/// Renders a run's per-transaction-class statistics — counts, mean bus
+/// operations and latency quantiles from the per-class histograms.
+pub fn render_class_stats(title: &str, report: &multicube::RunReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    out.push_str(&format!(
+        "{:<28} {:>8} {:>10} {:>12} {:>10} {:>10} {:>10}\n",
+        "class", "count", "ops/txn", "latency ns", "p50 ns", "p90 ns", "p99 ns"
+    ));
+    for (name, s) in report.metrics.classes() {
+        if s.count == 0 {
+            continue;
+        }
+        let q = |q: f64| {
+            s.latency_hist
+                .quantile(q)
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "-".to_string())
+        };
+        out.push_str(&format!(
+            "{:<28} {:>8} {:>10.2} {:>12.0} {:>10} {:>10} {:>10}\n",
+            name,
+            s.count,
+            s.bus_ops.mean(),
+            s.latency_ns.mean(),
+            q(0.5),
+            q(0.9),
+            q(0.99)
+        ));
+    }
+    out
 }
 
 /// Renders figure series' row-bus utilization side by side (the sensitive
@@ -371,9 +433,7 @@ pub fn mlt_rows(n: u32, capacities: &[usize], txns: u64) -> Vec<MltRow> {
     capacities
         .iter()
         .map(|&capacity| {
-            let config = MachineConfig::grid(n)
-                .unwrap()
-                .with_mlt_capacity(capacity);
+            let config = MachineConfig::grid(n).unwrap().with_mlt_capacity(capacity);
             let spec = SyntheticSpec::default()
                 .with_request_rate_per_ms(15.0)
                 .with_p_write(0.6)

@@ -119,8 +119,9 @@ impl Bus {
         self.in_flight.as_ref().map(|(op, _)| op)
     }
 
-    /// When the in-flight operation started (completion minus nothing the
-    /// bus tracks; exposed as its scheduled completion instant).
+    /// The scheduled completion instant of the in-flight operation, i.e.
+    /// the time at which [`Bus::complete`] must be called for it. `None`
+    /// when the bus is idle.
     pub fn in_flight_completion(&self) -> Option<SimTime> {
         self.in_flight.as_ref().map(|(_, done)| *done)
     }
@@ -204,7 +205,9 @@ mod tests {
     #[test]
     fn utilization_counts_only_busy_time() {
         let mut bus = Bus::new(BusId::row(0));
-        let done = bus.enqueue(op(OpKind::ReadRowRequest, 1), 100, SimTime::ZERO).unwrap();
+        let done = bus
+            .enqueue(op(OpKind::ReadRowRequest, 1), 100, SimTime::ZERO)
+            .unwrap();
         bus.complete(done);
         // Busy [0,100), idle [100,400): 25%.
         assert!((bus.utilization(SimTime::from_nanos(400)) - 0.25).abs() < 1e-12);
@@ -213,7 +216,9 @@ mod tests {
     #[test]
     fn counters_distinguish_data_ops() {
         let mut bus = Bus::new(BusId::row(0));
-        let d1 = bus.enqueue(op(OpKind::ReadRowRequest, 1), 50, SimTime::ZERO).unwrap();
+        let d1 = bus
+            .enqueue(op(OpKind::ReadRowRequest, 1), 50, SimTime::ZERO)
+            .unwrap();
         let mut reply = op(OpKind::ReadRowReply, 2);
         reply.data = Some(multicube_mem::LineVersion::new(1));
         bus.enqueue(reply, 850, SimTime::ZERO);
@@ -222,6 +227,25 @@ mod tests {
         assert_eq!(bus.op_count(), 2);
         assert_eq!(bus.data_op_count(), 1);
         assert_eq!(bus.queue_high_water(), 1);
+    }
+
+    #[test]
+    fn in_flight_completion_is_the_scheduled_completion_instant() {
+        let mut bus = Bus::new(BusId::row(0));
+        assert_eq!(bus.in_flight_completion(), None);
+        // Op starts at t=10 with 100 ns occupancy: completion is t=110,
+        // not the start instant.
+        let t0 = SimTime::from_nanos(10);
+        let done = bus.enqueue(op(OpKind::ReadRowRequest, 1), 100, t0).unwrap();
+        assert_eq!(bus.in_flight_completion(), Some(done));
+        assert_eq!(done, SimTime::from_nanos(110));
+        // A queued successor starts back-to-back at the predecessor's
+        // completion: its completion is 110 + 60.
+        bus.enqueue(op(OpKind::ReadRowRequest, 2), 60, t0);
+        bus.complete(done);
+        assert_eq!(bus.in_flight_completion(), Some(SimTime::from_nanos(170)));
+        bus.complete(SimTime::from_nanos(170));
+        assert_eq!(bus.in_flight_completion(), None);
     }
 
     #[test]

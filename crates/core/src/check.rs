@@ -88,9 +88,17 @@ impl fmt::Display for CoherenceViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoherenceViolation::MultipleWriters { line, nodes } => {
-                write!(f, "line {line:?} modified in both {} and {}", nodes.0, nodes.1)
+                write!(
+                    f,
+                    "line {line:?} modified in both {} and {}",
+                    nodes.0, nodes.1
+                )
             }
-            CoherenceViolation::ModifiedWithSharers { line, owner, sharer } => write!(
+            CoherenceViolation::ModifiedWithSharers {
+                line,
+                owner,
+                sharer,
+            } => write!(
                 f,
                 "line {line:?} modified in {owner} but shared in {sharer}"
             ),
@@ -109,7 +117,10 @@ impl fmt::Display for CoherenceViolation {
                 write!(f, "column {col} MLT inconsistent: {detail}")
             }
             CoherenceViolation::SubsetViolation { node, line } => {
-                write!(f, "{node}: L1 holds {line:?} but the snooping cache does not")
+                write!(
+                    f,
+                    "{node}: L1 holds {line:?} but the snooping cache does not"
+                )
             }
             CoherenceViolation::RegistryMismatch { line, detail } => {
                 write!(f, "line {line:?} registry mismatch: {detail}")
@@ -153,7 +164,11 @@ pub fn check(m: &Machine) -> Result<(), CoherenceViolation> {
     for (&line, &owner) in &owners {
         if let Some(sh) = sharers.get(&line) {
             if let Some(&sharer) = sh.first() {
-                return Err(CoherenceViolation::ModifiedWithSharers { line, owner, sharer });
+                return Err(CoherenceViolation::ModifiedWithSharers {
+                    line,
+                    owner,
+                    sharer,
+                });
             }
         }
     }

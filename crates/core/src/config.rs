@@ -88,7 +88,10 @@ impl fmt::Display for MachineConfigError {
             }
             MachineConfigError::BadPieceSize => write!(f, "piece size must be nonzero"),
             MachineConfigError::BadDropProbability(p) => {
-                write!(f, "modified-signal drop probability must be in [0,1), got {p}")
+                write!(
+                    f,
+                    "modified-signal drop probability must be in [0,1), got {p}"
+                )
             }
         }
     }

@@ -39,6 +39,8 @@
 //! * [`driver`] — closed-loop synthetic workload driving ([`SyntheticSpec`]).
 //! * [`metrics`] — counters, latencies, utilizations and the run report.
 //! * [`check`] — the coherence-invariant checker.
+//! * [`trace`] — structured bus-operation tracing ([`TraceSink`] chosen at
+//!   [`Machine::new`]; `MULTICUBE_TRACE=1` selects the stderr sink).
 //! * [`inspect`] — human-readable state dumps (pair with the
 //!   `MULTICUBE_TRACE=1` per-operation trace for debugging).
 
@@ -51,10 +53,12 @@ pub mod machine;
 pub mod metrics;
 pub mod node;
 pub mod proto;
+pub mod trace;
 
 pub use config::{LatencyMode, MachineConfig, MachineConfigError, Timing};
 pub use driver::{Request, RequestKind, SyntheticSpec};
 pub use machine::{Completion, Machine, SubmitError};
-pub use metrics::{MachineMetrics, RunReport, TxnStats};
+pub use metrics::{BusReport, MachineMetrics, RunReport, TxnStats};
 pub use node::LineMode;
 pub use proto::{BusOp, OpClass, OpKind, TxnId};
+pub use trace::{TraceEvent, TraceFormat, TracePoint, TraceSink};

@@ -25,8 +25,9 @@ use crate::check::{self, CoherenceViolation};
 use crate::config::{LatencyMode, MachineConfig, MachineConfigError};
 use crate::driver::{Request, RequestKind, SyntheticSpec};
 use crate::metrics::{MachineMetrics, RunReport, Served};
-use crate::node::{Controller, LineMode};
+use crate::node::{Controller, LineMode, Outstanding};
 use crate::proto::{BusOp, OpClass, OpKind, Piece, TxnId};
+use crate::trace::{TraceEvent, TracePoint, TraceSink};
 
 pub(crate) use synthetic::SyntheticState;
 
@@ -163,6 +164,11 @@ pub struct Machine {
     owned_pos: HashMap<LineAddr, usize>,
     /// Number of caches holding each line shared.
     pub(crate) sharers: HashMap<LineAddr, u32>,
+    /// Number of nodes with an outstanding transaction on each line —
+    /// the line-keyed index behind
+    /// [`Machine::line_has_inflight_interest`], kept consistent by
+    /// [`Machine::set_outstanding`] / [`Machine::clear_outstanding`].
+    inflight_interest: HashMap<LineAddr, u32>,
     /// Latest committed write per line (value-integrity checking).
     pub(crate) committed: HashMap<LineAddr, LineVersion>,
     /// The designated synchronization word of each line (§4).
@@ -170,6 +176,8 @@ pub struct Machine {
     pub(crate) metrics: MachineMetrics,
     completions: VecDeque<Completion>,
     pub(crate) synthetic: Option<SyntheticState>,
+    /// Structured trace destination, chosen once at construction.
+    trace: TraceSink,
 }
 
 impl Machine {
@@ -216,13 +224,76 @@ impl Machine {
             owned_list: Vec::new(),
             owned_pos: HashMap::new(),
             sharers: HashMap::new(),
+            inflight_interest: HashMap::new(),
             committed: HashMap::new(),
             sync_words: HashMap::new(),
             metrics: MachineMetrics::default(),
             completions: VecDeque::new(),
             synthetic: None,
+            trace: TraceSink::from_env(),
             config,
         })
+    }
+
+    /// Replaces the trace sink (see [`crate::trace`]). The environment is
+    /// consulted only at construction; this overrides that choice.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.trace = sink;
+    }
+
+    /// The current trace sink.
+    pub fn trace_sink(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// The events buffered by a ring-buffer trace sink (empty otherwise).
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.trace.events()
+    }
+
+    /// Records an operation-shaped trace event if tracing is enabled.
+    #[inline]
+    fn trace_op(&mut self, point: TracePoint, slot: usize, op: &BusOp) {
+        if self.trace.is_enabled() {
+            let ev = TraceEvent {
+                at: self.now(),
+                point,
+                bus: Some(self.buses[slot].id()),
+                kind: Some(op.kind),
+                line: op.line,
+                originator: Some(op.originator),
+                txn: Some(op.txn),
+                piece: op.piece,
+                data: op.data,
+            };
+            self.trace.record(ev);
+        }
+    }
+
+    /// Records a decision-point trace event if tracing is enabled.
+    #[inline]
+    pub(crate) fn trace_point(
+        &mut self,
+        point: TracePoint,
+        bus: Option<usize>,
+        line: LineAddr,
+        originator: Option<NodeId>,
+        txn: Option<TxnId>,
+    ) {
+        if self.trace.is_enabled() {
+            let ev = TraceEvent {
+                at: self.now(),
+                point,
+                bus: bus.map(|slot| self.buses[slot].id()),
+                kind: None,
+                line,
+                originator,
+                txn,
+                piece: None,
+                data: None,
+            };
+            self.trace.record(ev);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -371,7 +442,7 @@ impl Machine {
                 bus_ops: 0,
                 victim: None,
             };
-            self.controllers[node.as_usize()].outstanding = Some(out);
+            self.set_outstanding(node.as_usize(), out);
             let delay = self.config.processor_latency_ns();
             self.events.schedule_after(delay, Event::LocalDone { node });
             return Ok(txn);
@@ -482,18 +553,7 @@ impl Machine {
 
     fn dispatch(&mut self, slot: usize, op: BusOp) {
         use OpKind::*;
-        if std::env::var_os("MULTICUBE_TRACE").is_some() {
-            eprintln!(
-                "[{}] {} {} {:?} orig={} {} data={:?}",
-                self.now(),
-                self.buses[slot].id(),
-                op.kind.name(),
-                op.line,
-                op.originator,
-                op.txn,
-                op.data
-            );
-        }
+        self.trace_op(TracePoint::OpComplete, slot, &op);
         match op.kind {
             ReadRowRequest => self.on_read_row_request(slot, op),
             ReadColRequestRemove => self.on_read_col_request_remove(slot, op),
@@ -633,17 +693,54 @@ impl Machine {
     /// Whether any node other than `except` has an outstanding transaction
     /// on `line` (a reply in flight could install a shared copy). Used by
     /// the broadcast sharing-filter ablation to stay conservative.
-    pub(crate) fn line_has_inflight_interest(
-        &self,
-        line: LineAddr,
-        except: NodeId,
-    ) -> bool {
-        self.controllers.iter().any(|c| {
-            c.node() != except
-                && c.outstanding()
-                    .map(|o| o.line == line)
-                    .unwrap_or(false)
-        })
+    ///
+    /// Answered in O(1) from the line-keyed [`Self::inflight_interest`]
+    /// index rather than scanning all `n^2` controllers.
+    pub(crate) fn line_has_inflight_interest(&self, line: LineAddr, except: NodeId) -> bool {
+        let count = self.inflight_interest.get(&line).copied().unwrap_or(0);
+        let except_holds = self.controllers[except.as_usize()]
+            .outstanding()
+            .map(|o| o.line == line)
+            .unwrap_or(false);
+        let interested = count > u32::from(except_holds);
+        #[cfg(debug_assertions)]
+        {
+            let scanned = self.controllers.iter().any(|c| {
+                c.node() != except && c.outstanding().map(|o| o.line == line).unwrap_or(false)
+            });
+            debug_assert_eq!(
+                interested, scanned,
+                "inflight-interest index diverged from controller scan for {line:?}"
+            );
+        }
+        interested
+    }
+
+    /// Installs a node's outstanding transaction, maintaining the
+    /// line-keyed in-flight-interest index. The node must be idle.
+    pub(crate) fn set_outstanding(&mut self, idx: usize, out: Outstanding) {
+        debug_assert!(
+            self.controllers[idx].outstanding.is_none(),
+            "node already has an outstanding transaction"
+        );
+        *self.inflight_interest.entry(out.line).or_insert(0) += 1;
+        self.controllers[idx].outstanding = Some(out);
+    }
+
+    /// Removes and returns a node's outstanding transaction, maintaining
+    /// the line-keyed in-flight-interest index.
+    pub(crate) fn clear_outstanding(&mut self, idx: usize) -> Option<Outstanding> {
+        let out = self.controllers[idx].outstanding.take();
+        if let Some(o) = &out {
+            match self.inflight_interest.get_mut(&o.line) {
+                Some(c) if *c > 1 => *c -= 1,
+                Some(_) => {
+                    self.inflight_interest.remove(&o.line);
+                }
+                None => debug_assert!(false, "missing inflight-interest entry"),
+            }
+        }
+        out
     }
 
     // ------------------------------------------------------------------
@@ -668,10 +765,9 @@ impl Machine {
             Some(LineMode::Modified) => self.registry_clear_owner(line),
             _ => {}
         }
-        let evicted = self.controllers[node_idx].cache.insert(
-            line,
-            crate::node::CacheLine { mode, data },
-        );
+        let evicted = self.controllers[node_idx]
+            .cache
+            .insert(line, crate::node::CacheLine { mode, data });
         if let Some(ev) = evicted {
             assert!(
                 ev.meta.mode != LineMode::Modified,
@@ -770,7 +866,10 @@ impl Machine {
                 let words = words.clamp(1, self.config.block_words());
                 let count = self.config.block_words().div_ceil(words);
                 if count > 1 {
-                    op.piece = Some(Piece { index: 0, of: count });
+                    op.piece = Some(Piece {
+                        index: 0,
+                        of: count,
+                    });
                 }
             }
         }
@@ -778,7 +877,8 @@ impl Machine {
         if delay_ns == 0 {
             self.enqueue_now(slot, op);
         } else {
-            self.events.schedule_after(delay_ns, Event::Emit { slot, op });
+            self.events
+                .schedule_after(delay_ns, Event::Emit { slot, op });
         }
     }
 
@@ -788,8 +888,7 @@ impl Machine {
         // controller simply discards the reply; the valid bit in memory
         // lets the originator's retransmission recover (§3).
         if let Some(supplier) = op.supplier {
-            let still_good =
-                self.controllers[supplier.as_usize()].data_of(&op.line) == op.data;
+            let still_good = self.controllers[supplier.as_usize()].data_of(&op.line) == op.data;
             if !still_good {
                 self.reissue_row_request(&op);
                 return;
@@ -821,9 +920,10 @@ impl Machine {
         }
     }
 
-    /// Called whenever an operation starts occupying a bus: handles the
-    /// requested-word-first early unblock.
+    /// Called whenever an operation starts occupying a bus: traces the
+    /// start and handles the requested-word-first early unblock.
     fn op_started(&mut self, slot: usize, op: &BusOp, start: SimTime) {
+        self.trace_op(TracePoint::OpStart, slot, op);
         if self.config.latency_mode() != LatencyMode::RequestedWordFirst {
             return;
         }
@@ -844,7 +944,8 @@ impl Machine {
         let node = op.originator;
         let txn = op.txn;
         let data = op.data;
-        self.events.schedule(early, Event::EarlyComplete { node, txn, data });
+        self.events
+            .schedule(early, Event::EarlyComplete { node, txn, data });
     }
 
     /// Pieces-mode first-piece unblock: the requested word has arrived.
@@ -881,6 +982,8 @@ impl Machine {
     pub(crate) fn note_retry(&mut self, txn: TxnId) {
         if let Some(info) = self.txns.get_mut(&txn) {
             info.retries += 1;
+            let (line, node) = (info.line, info.node);
+            self.trace_point(TracePoint::Retry, None, line, Some(node), Some(txn));
         }
         if let Some(out) = self
             .txns
@@ -931,6 +1034,7 @@ impl Machine {
             if let Some(info) = self.txns.get_mut(&txn) {
                 if !info.done && !info.installed {
                     info.poisoned = true;
+                    self.trace_point(TracePoint::Poison, None, line, Some(node), Some(txn));
                 }
             }
         }
@@ -1038,7 +1142,7 @@ impl Machine {
     /// synthetic-workload follow-up.
     pub(crate) fn finish_txn(&mut self, node: NodeId, txn: TxnId, success: bool) {
         let now = self.now();
-        let out = self.controllers[node.as_usize()].outstanding.take();
+        let out = self.clear_outstanding(node.as_usize());
         debug_assert!(out.map(|o| o.txn == txn).unwrap_or(false));
         self.controllers[node.as_usize()].completed += 1;
 
@@ -1051,15 +1155,13 @@ impl Machine {
             self.controllers[node.as_usize()].l1_fill(line);
         }
         let info = self.txns.get(&txn).expect("txn info").clone();
-        self.metrics
-            .bucket(kind, info.served, success)
-            .record(
-                latency.as_nanos(),
-                info.bus_ops,
-                info.row_ops,
-                info.col_ops,
-                info.retries,
-            );
+        self.metrics.bucket(kind, info.served, success).record(
+            latency.as_nanos(),
+            info.bus_ops,
+            info.row_ops,
+            info.col_ops,
+            info.retries,
+        );
         self.completions.push_back(Completion {
             node,
             txn,

@@ -17,14 +17,24 @@ impl Machine {
     pub(crate) fn on_readmod_row_request(&mut self, slot: usize, op: BusOp) {
         let row = self.slot_row(slot);
         if let Some(cm) = self.poll_modified_signal(row, &op.line) {
-            let fwd = BusOp::new(OpKind::ReadModColRequestRemove, op.line, op.originator, op.txn)
-                .with_allocate(op.allocate);
+            let fwd = BusOp::new(
+                OpKind::ReadModColRequestRemove,
+                op.line,
+                op.originator,
+                op.txn,
+            )
+            .with_allocate(op.allocate);
             let slot = self.col_slot(cm);
             self.emit(slot, fwd, 0);
         } else {
             let home = self.home_column(op.line);
-            let fwd = BusOp::new(OpKind::ReadModColRequestMemory, op.line, op.originator, op.txn)
-                .with_allocate(op.allocate);
+            let fwd = BusOp::new(
+                OpKind::ReadModColRequestMemory,
+                op.line,
+                op.originator,
+                op.txn,
+            )
+            .with_allocate(op.allocate);
             let slot = self.col_slot(home);
             self.emit(slot, fwd, 0);
         }
@@ -56,10 +66,14 @@ impl Machine {
         let o_col = self.origin_col(&op);
         if col == o_col {
             // "if (column match) then READMOD (COLUMN, REPLY, INSERT)".
-            let reply =
-                BusOp::new(OpKind::ReadModColReplyInsert, op.line, op.originator, op.txn)
-                    .with_data(data)
-                    .with_allocate(op.allocate);
+            let reply = BusOp::new(
+                OpKind::ReadModColReplyInsert,
+                op.line,
+                op.originator,
+                op.txn,
+            )
+            .with_data(data)
+            .with_allocate(op.allocate);
             let slot = self.col_slot(col);
             self.emit(slot, reply, snoop);
         } else {
@@ -90,9 +104,13 @@ impl Machine {
             }
             None => {
                 self.metrics.memory_bounces.incr();
-                let bounce =
-                    BusOp::new(OpKind::ReadModColRequestRemove, op.line, op.originator, op.txn)
-                        .with_allocate(op.allocate);
+                let bounce = BusOp::new(
+                    OpKind::ReadModColRequestRemove,
+                    op.line,
+                    op.originator,
+                    op.txn,
+                )
+                .with_allocate(op.allocate);
                 self.emit(slot, bounce, latency);
             }
         }
@@ -114,9 +132,14 @@ impl Machine {
             self.emit(slot, ins, 0);
             self.install_and_finish(op.originator, op.txn, op.data, true, true);
         } else {
-            let fwd = BusOp::new(OpKind::ReadModColReplyInsert, op.line, op.originator, op.txn)
-                .with_data(data)
-                .with_allocate(op.allocate);
+            let fwd = BusOp::new(
+                OpKind::ReadModColReplyInsert,
+                op.line,
+                op.originator,
+                op.txn,
+            )
+            .with_data(data)
+            .with_allocate(op.allocate);
             let slot = self.col_slot(o_col);
             self.emit(slot, fwd, 0);
         }
@@ -150,9 +173,8 @@ impl Machine {
                 let dst = self.col_slot(o_col);
                 self.emit(dst, ins, 0);
                 if fanout_needed {
-                    let purge =
-                        BusOp::new(OpKind::ReadModRowPurge, op.line, op.originator, op.txn)
-                            .with_allocate(op.allocate);
+                    let purge = BusOp::new(OpKind::ReadModRowPurge, op.line, op.originator, op.txn)
+                        .with_allocate(op.allocate);
                     let dst = self.row_slot(o_row);
                     self.emit(dst, purge, 0);
                 }
@@ -162,20 +184,15 @@ impl Machine {
                     self.metrics.invalidations.incr();
                 }
                 if r == o_row {
-                    let fwd = BusOp::new(
-                        OpKind::ReadModRowReplyPurge,
-                        op.line,
-                        op.originator,
-                        op.txn,
-                    )
-                    .with_data(data)
-                    .with_allocate(op.allocate);
+                    let fwd =
+                        BusOp::new(OpKind::ReadModRowReplyPurge, op.line, op.originator, op.txn)
+                            .with_data(data)
+                            .with_allocate(op.allocate);
                     let dst = self.row_slot(r);
                     self.emit(dst, fwd, 0);
                 } else if fanout_needed {
-                    let purge =
-                        BusOp::new(OpKind::ReadModRowPurge, op.line, op.originator, op.txn)
-                            .with_allocate(op.allocate);
+                    let purge = BusOp::new(OpKind::ReadModRowPurge, op.line, op.originator, op.txn)
+                        .with_allocate(op.allocate);
                     let dst = self.row_slot(r);
                     self.emit(dst, purge, 0);
                 }

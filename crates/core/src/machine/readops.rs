@@ -7,6 +7,7 @@ use crate::machine::Machine;
 use crate::metrics::Served;
 use crate::node::LineMode;
 use crate::proto::{BusOp, OpClass, OpKind};
+use crate::trace::TracePoint;
 
 impl Machine {
     // ------------------------------------------------------------------
@@ -34,6 +35,8 @@ impl Machine {
         let drop_p = self.config.signal_drop_probability();
         if found.is_some() && drop_p > 0.0 && self.rng.chance(drop_p) {
             self.metrics.dropped_signals.incr();
+            let slot = self.row_slot(row);
+            self.trace_point(TracePoint::SignalDrop, Some(slot), *line, None, None);
             return None;
         }
         found
@@ -50,7 +53,12 @@ impl Machine {
                 Some(prev) => debug_assert_eq!(prev, r, "MLT replicas diverged"),
             }
         }
-        removed.unwrap_or(false)
+        let removed = removed.unwrap_or(false);
+        if removed {
+            let slot = self.col_slot(col);
+            self.trace_point(TracePoint::MltRemove, Some(slot), *line, None, None);
+        }
+        removed
     }
 
     /// Inserts the line into every MLT replica of a column, handling
@@ -64,6 +72,14 @@ impl Machine {
                 overflow = Some(v);
             }
         }
+        let slot = self.col_slot(col);
+        self.trace_point(
+            TracePoint::MltInsert,
+            Some(slot),
+            op.line,
+            Some(op.originator),
+            Some(op.txn),
+        );
         let Some(victim) = overflow else { return };
         self.metrics.mlt_overflows.incr();
         let holder = self
@@ -90,8 +106,7 @@ impl Machine {
             let slot = self.col_slot(h_col);
             self.emit(slot, wb, snoop);
         } else {
-            let wb =
-                BusOp::new(OpKind::WritebackRowUpdate, victim, h_node, op.txn).with_data(data);
+            let wb = BusOp::new(OpKind::WritebackRowUpdate, victim, h_node, op.txn).with_data(data);
             let slot = self.row_slot(h_row);
             self.emit(slot, wb, snoop);
         }
@@ -114,8 +129,7 @@ impl Machine {
             Writeback => return,
         };
         let row = self.origin_row(op);
-        let retry = BusOp::new(op_kind, op.line, op.originator, op.txn)
-            .with_allocate(op.allocate);
+        let retry = BusOp::new(op_kind, op.line, op.originator, op.txn).with_allocate(op.allocate);
         let slot = self.row_slot(row);
         self.emit(slot, retry, 0);
     }
@@ -264,9 +278,8 @@ impl Machine {
         match self.memories[col as usize].read_valid(&op.line) {
             Some(data) => {
                 self.note_served(op.txn, Served::Memory);
-                let reply =
-                    BusOp::new(OpKind::ReadColReplyNoPurge, op.line, op.originator, op.txn)
-                        .with_data(data);
+                let reply = BusOp::new(OpKind::ReadColReplyNoPurge, op.line, op.originator, op.txn)
+                    .with_data(data);
                 self.emit(slot, reply, latency);
             }
             None => {
@@ -316,8 +329,8 @@ impl Machine {
         if self.origin_col(&op) == col {
             self.install_and_finish(op.originator, op.txn, op.data, true, true);
         } else {
-            let fwd = BusOp::new(OpKind::ReadRowReply, op.line, op.originator, op.txn)
-                .with_data(data);
+            let fwd =
+                BusOp::new(OpKind::ReadRowReply, op.line, op.originator, op.txn).with_data(data);
             let o_row = self.origin_row(&op);
             let slot = self.row_slot(o_row);
             self.emit(slot, fwd, 0);
@@ -334,8 +347,8 @@ impl Machine {
         if self.origin_col(&op) == col {
             self.install_and_finish(op.originator, op.txn, op.data, true, true);
         } else {
-            let fwd = BusOp::new(OpKind::ReadRowReply, op.line, op.originator, op.txn)
-                .with_data(data);
+            let fwd =
+                BusOp::new(OpKind::ReadRowReply, op.line, op.originator, op.txn).with_data(data);
             let o_row = self.origin_row(&op);
             let slot = self.row_slot(o_row);
             self.emit(slot, fwd, 0);

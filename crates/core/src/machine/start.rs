@@ -3,7 +3,6 @@
 //! reserve space in the data cache (if necessary) with a WRITEBACK
 //! transaction").
 
-
 use multicube_topology::NodeId;
 
 use crate::driver::{Request, RequestKind};
@@ -52,20 +51,20 @@ impl Machine {
             (RequestKind::Read, Some(LineMode::Shared | LineMode::Modified))
             | (RequestKind::Write | RequestKind::Allocate, Some(LineMode::Modified))
             | (RequestKind::TestAndSet, Some(LineMode::Modified)) => {
-                self.controllers[idx].outstanding = Some(out);
+                self.set_outstanding(idx, out);
                 self.events.schedule_after(snoop, Event::LocalDone { node });
             }
             (RequestKind::Writeback, m) => {
                 if m == Some(LineMode::Modified) {
                     out.phase = TxnPhase::Requested;
-                    self.controllers[idx].outstanding = Some(out);
+                    self.set_outstanding(idx, out);
                     let col = self.controllers[idx].col();
                     let op = BusOp::new(OpKind::WritebackColRemove, req.line, node, txn);
                     let slot = self.col_slot(col);
                     self.emit(slot, op, 0);
                 } else {
                     // Nothing to write back: complete immediately.
-                    self.controllers[idx].outstanding = Some(out);
+                    self.set_outstanding(idx, out);
                     self.events.schedule_after(0u64, Event::LocalDone { node });
                 }
             }
@@ -73,12 +72,12 @@ impl Machine {
             //      needed; the line is already resident) ----
             (RequestKind::Write | RequestKind::Allocate, Some(LineMode::Shared)) => {
                 out.phase = TxnPhase::Requested;
-                self.controllers[idx].outstanding = Some(out);
+                self.set_outstanding(idx, out);
                 self.issue_row_request(node, txn);
             }
             (RequestKind::TestAndSet, Some(LineMode::Shared)) => {
                 out.phase = TxnPhase::Requested;
-                self.controllers[idx].outstanding = Some(out);
+                self.set_outstanding(idx, out);
                 self.issue_row_request(node, txn);
             }
             // ---- Miss paths (reserve space, then request) ----
@@ -107,7 +106,7 @@ impl Machine {
                     out.phase = TxnPhase::VictimWriteback;
                     out.victim = Some(victim);
                     let txn = out.txn;
-                    self.controllers[idx].outstanding = Some(out);
+                    self.set_outstanding(idx, out);
                     let col = self.controllers[idx].col();
                     let op = BusOp::new(OpKind::WritebackColRemove, victim, node, txn);
                     let slot = self.col_slot(col);
@@ -120,7 +119,7 @@ impl Machine {
         }
         out.phase = TxnPhase::Requested;
         let txn = out.txn;
-        self.controllers[idx].outstanding = Some(out);
+        self.set_outstanding(idx, out);
         self.issue_row_request(node, txn);
     }
 
@@ -198,7 +197,7 @@ impl Machine {
                 self.note_retry(out.txn);
                 let mut out2 = out;
                 out2.phase = TxnPhase::Requested;
-                self.controllers[idx].outstanding = None;
+                self.clear_outstanding(idx);
                 self.begin_miss(node, out2);
             }
         }

@@ -15,7 +15,7 @@ use multicube_topology::NodeId;
 
 use crate::driver::{Request, RequestKind, SyntheticSpec};
 use crate::machine::{Event, Machine};
-use crate::metrics::{BusUtilization, RunReport};
+use crate::metrics::{BusReport, BusUtilization, RunReport};
 
 /// Book-keeping for one synthetic run.
 #[derive(Debug)]
@@ -142,12 +142,7 @@ impl Machine {
     /// ALLOCATE hint targets ("cases where entire blocks are to be
     /// written"). This makes the Figure 3 knob control real sharer
     /// presence rather than a label.
-    fn pick_unmodified(
-        &mut self,
-        node: NodeId,
-        spec: &SyntheticSpec,
-        is_write: bool,
-    ) -> LineAddr {
+    fn pick_unmodified(&mut self, node: NodeId, spec: &SyntheticSpec, is_write: bool) -> LineAddr {
         let invalidating = is_write && self.rng.chance(spec.p_invalidation);
         let fresh_base = spec.shared_lines;
         let mut fallback = None;
@@ -198,6 +193,7 @@ impl Machine {
         let mut util = BusUtilization::default();
         let mut row_ops = 0u64;
         let mut col_ops = 0u64;
+        let mut buses = Vec::with_capacity(self.buses.len());
         for (i, bus) in self.buses.iter().enumerate() {
             let u = bus.utilization(now);
             if i < n {
@@ -209,6 +205,13 @@ impl Machine {
                 util.col_max = util.col_max.max(u);
                 col_ops += bus.op_count();
             }
+            buses.push(BusReport {
+                id: bus.id(),
+                utilization: u,
+                ops: bus.op_count(),
+                data_ops: bus.data_op_count(),
+                queue_high_water: bus.queue_high_water(),
+            });
         }
 
         let elapsed_ms = now.as_millis_f64();
@@ -240,6 +243,7 @@ impl Machine {
             utilization: util,
             row_bus_ops: row_ops,
             col_bus_ops: col_ops,
+            buses,
             metrics: self.metrics.clone(),
         }
     }

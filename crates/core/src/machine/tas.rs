@@ -70,9 +70,13 @@ impl Machine {
             let d_row = self.controllers[d_idx].row();
             let o_col = self.origin_col(&op);
             if col == o_col {
-                let reply =
-                    BusOp::new(OpKind::ReadModColReplyInsert, op.line, op.originator, op.txn)
-                        .with_data(data);
+                let reply = BusOp::new(
+                    OpKind::ReadModColReplyInsert,
+                    op.line,
+                    op.originator,
+                    op.txn,
+                )
+                .with_data(data);
                 let dst = self.col_slot(col);
                 self.emit(dst, reply, snoop);
             } else {

@@ -70,9 +70,7 @@ impl Machine {
                 }
                 self.issue_row_request(node, op.txn);
             }
-            TxnPhase::Requested
-                if out.txn == op.txn && out.kind == RequestKind::Writeback =>
-            {
+            TxnPhase::Requested if out.txn == op.txn && out.kind == RequestKind::Writeback => {
                 // Standalone write-back: "mark line shared" already done by
                 // the remove handler; the transaction is complete.
                 self.note_served(op.txn, Served::Memory);

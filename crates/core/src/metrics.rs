@@ -2,6 +2,7 @@
 
 use multicube_sim::stats::{Counter, Histogram, OnlineStats};
 use multicube_sim::SimTime;
+use multicube_topology::BusId;
 
 use crate::driver::RequestKind;
 use crate::proto::OpClass;
@@ -40,7 +41,14 @@ pub struct TxnStats {
 
 impl TxnStats {
     /// Records one completed transaction.
-    pub fn record(&mut self, latency_ns: u64, bus_ops: u32, row_ops: u32, col_ops: u32, retries: u32) {
+    pub fn record(
+        &mut self,
+        latency_ns: u64,
+        bus_ops: u32,
+        row_ops: u32,
+        col_ops: u32,
+        retries: u32,
+    ) {
         self.count += 1;
         self.latency_ns.record(latency_ns as f64);
         self.latency_hist.record(latency_ns);
@@ -125,6 +133,21 @@ impl MachineMetrics {
     pub fn bus_transactions(&self) -> u64 {
         self.total_transactions() - self.local_hits.count
     }
+
+    /// The per-class statistics buckets with stable display names, in a
+    /// fixed order (for tables and CSV export).
+    pub fn classes(&self) -> [(&'static str, &TxnStats); 8] {
+        [
+            ("READ unmodified", &self.read_unmodified),
+            ("READ modified", &self.read_modified),
+            ("READ-MOD/ALLOC unmodified", &self.write_unmodified),
+            ("READ-MOD/ALLOC modified", &self.write_modified),
+            ("local hit", &self.local_hits),
+            ("WRITE-BACK", &self.writebacks),
+            ("TAS success", &self.tas_success),
+            ("TAS fail", &self.tas_fail),
+        ]
+    }
 }
 
 /// Per-bus utilization summary.
@@ -138,6 +161,21 @@ pub struct BusUtilization {
     pub col_mean: f64,
     /// Peak utilization among column buses.
     pub col_max: f64,
+}
+
+/// Telemetry for one bus of the grid.
+#[derive(Debug, Clone)]
+pub struct BusReport {
+    /// Which bus.
+    pub id: BusId,
+    /// Busy fraction over the run.
+    pub utilization: f64,
+    /// Operations started on this bus.
+    pub ops: u64,
+    /// Data-streaming operations started.
+    pub data_ops: u64,
+    /// Highest queue depth observed behind the in-flight operation.
+    pub queue_high_water: usize,
 }
 
 /// The result of a synthetic run ([`crate::Machine::run_synthetic`]).
@@ -163,6 +201,9 @@ pub struct RunReport {
     pub row_bus_ops: u64,
     /// Total column-bus operations.
     pub col_bus_ops: u64,
+    /// Per-bus telemetry: utilization, op counts and queue high-water,
+    /// rows first then columns.
+    pub buses: Vec<BusReport>,
     /// Full per-class metrics.
     pub metrics: MachineMetrics,
 }
@@ -237,13 +278,20 @@ mod tests {
     #[test]
     fn bucket_routes_by_kind_and_service() {
         let mut m = MachineMetrics::default();
-        m.bucket(RequestKind::Read, Served::Memory, false).record(1, 4, 2, 2, 0);
-        m.bucket(RequestKind::Read, Served::RemoteModified, false).record(1, 5, 2, 3, 0);
-        m.bucket(RequestKind::Write, Served::Memory, false).record(1, 6, 4, 2, 0);
-        m.bucket(RequestKind::Write, Served::RemoteModified, false).record(1, 4, 2, 2, 0);
-        m.bucket(RequestKind::Read, Served::Local, false).record(1, 0, 0, 0, 0);
-        m.bucket(RequestKind::TestAndSet, Served::Memory, true).record(1, 4, 2, 2, 0);
-        m.bucket(RequestKind::TestAndSet, Served::Memory, false).record(1, 4, 2, 2, 0);
+        m.bucket(RequestKind::Read, Served::Memory, false)
+            .record(1, 4, 2, 2, 0);
+        m.bucket(RequestKind::Read, Served::RemoteModified, false)
+            .record(1, 5, 2, 3, 0);
+        m.bucket(RequestKind::Write, Served::Memory, false)
+            .record(1, 6, 4, 2, 0);
+        m.bucket(RequestKind::Write, Served::RemoteModified, false)
+            .record(1, 4, 2, 2, 0);
+        m.bucket(RequestKind::Read, Served::Local, false)
+            .record(1, 0, 0, 0, 0);
+        m.bucket(RequestKind::TestAndSet, Served::Memory, true)
+            .record(1, 4, 2, 2, 0);
+        m.bucket(RequestKind::TestAndSet, Served::Memory, false)
+            .record(1, 4, 2, 2, 0);
         assert_eq!(m.read_unmodified.count, 1);
         assert_eq!(m.read_modified.count, 1);
         assert_eq!(m.write_unmodified.count, 1);
@@ -258,7 +306,8 @@ mod tests {
     #[test]
     fn home_cache_reads_count_as_unmodified() {
         let mut m = MachineMetrics::default();
-        m.bucket(RequestKind::Read, Served::HomeCache, false).record(1, 2, 1, 1, 0);
+        m.bucket(RequestKind::Read, Served::HomeCache, false)
+            .record(1, 2, 1, 1, 0);
         assert_eq!(m.read_unmodified.count, 1);
     }
 
@@ -293,6 +342,7 @@ mod display_tests {
             },
             row_bus_ops: 320,
             col_bus_ops: 320,
+            buses: Vec::new(),
             metrics: MachineMetrics::default(),
         };
         let text = report.to_string();

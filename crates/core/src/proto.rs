@@ -117,11 +117,21 @@ impl OpKind {
             ReadRowRequest | ReadRowReply | ReadRowReplyUpdate | ReadModRowRequest
             | ReadModRowReply | ReadModRowReplyPurge | ReadModRowPurge | WritebackRowUpdate
             | TasRowRequest | TasRowFail => OpClass::Row,
-            ReadColRequestRemove | ReadColRequestMemory | ReadColReplyUpdate
-            | ReadColReplyUpdateMemory | ReadColReplyNoPurge | ReadModColRequestRemove
-            | ReadModColRequestMemory | ReadModColReplyPurge | ReadModColReplyInsert
-            | ReadModColInsert | WritebackColRemove | WritebackColUpdateMemory
-            | TasColRequest | TasColRequestMemory | TasColFail => OpClass::Column,
+            ReadColRequestRemove
+            | ReadColRequestMemory
+            | ReadColReplyUpdate
+            | ReadColReplyUpdateMemory
+            | ReadColReplyNoPurge
+            | ReadModColRequestRemove
+            | ReadModColRequestMemory
+            | ReadModColReplyPurge
+            | ReadModColReplyInsert
+            | ReadModColInsert
+            | WritebackColRemove
+            | WritebackColUpdateMemory
+            | TasColRequest
+            | TasColRequestMemory
+            | TasColFail => OpClass::Column,
         }
     }
 

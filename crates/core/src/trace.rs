@@ -1,0 +1,411 @@
+//! Structured bus-operation tracing.
+//!
+//! Every bus operation and protocol decision point can be recorded as a
+//! [`TraceEvent`] and delivered to a [`TraceSink`] chosen once at
+//! [`crate::Machine::new`]. The default sink is [`TraceSink::Disabled`],
+//! which costs one enum-discriminant test per potential event and never
+//! allocates; setting the `MULTICUBE_TRACE` environment variable when the
+//! machine is constructed selects [`TraceSink::Stderr`], which preserves
+//! the historical human-readable per-operation line. Tests use the bounded
+//! [`TraceSink::ring`] buffer, and [`TraceSink::writer`] streams JSONL or
+//! CSV records for offline analysis.
+//!
+//! # Example
+//!
+//! ```
+//! use multicube::{Machine, MachineConfig, Request};
+//! use multicube::trace::{TracePoint, TraceSink};
+//! use multicube_topology::NodeId;
+//!
+//! let mut m = Machine::new(MachineConfig::grid(2).unwrap(), 1).unwrap();
+//! m.set_trace_sink(TraceSink::ring(256));
+//! m.submit(NodeId::new(0), Request::read(multicube_mem::LineAddr::new(9))).unwrap();
+//! m.advance();
+//! let completed: Vec<_> = m
+//!     .trace_events()
+//!     .into_iter()
+//!     .filter(|e| e.point == TracePoint::OpComplete)
+//!     .collect();
+//! assert!(!completed.is_empty());
+//! ```
+
+use std::collections::VecDeque;
+use std::io::Write;
+
+use multicube_mem::{LineAddr, LineVersion};
+use multicube_sim::SimTime;
+use multicube_topology::{BusId, NodeId};
+
+use crate::proto::{OpKind, Piece, TxnId};
+
+/// Where in the protocol a [`TraceEvent`] was recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TracePoint {
+    /// A bus operation started occupying its bus.
+    OpStart,
+    /// A bus operation completed (all nodes snoop and act at this instant).
+    OpComplete,
+    /// A row-request retransmission was scheduled (lost race, dropped
+    /// signal, or memory bounce).
+    Retry,
+    /// An outstanding READ was poisoned by a purge sweeping past its line.
+    Poison,
+    /// The line was inserted into a column's modified-line-table replicas.
+    MltInsert,
+    /// The line was removed from a column's modified-line-table replicas.
+    MltRemove,
+    /// A modified signal was dropped by failure injection.
+    SignalDrop,
+}
+
+impl TracePoint {
+    /// Stable lowercase name, used by the JSONL/CSV writers.
+    pub fn name(self) -> &'static str {
+        match self {
+            TracePoint::OpStart => "op-start",
+            TracePoint::OpComplete => "op-complete",
+            TracePoint::Retry => "retry",
+            TracePoint::Poison => "poison",
+            TracePoint::MltInsert => "mlt-insert",
+            TracePoint::MltRemove => "mlt-remove",
+            TracePoint::SignalDrop => "signal-drop",
+        }
+    }
+}
+
+/// One structured trace record.
+///
+/// Operation events carry the full bus-operation identity; decision-point
+/// events (retry, poison, MLT, signal drop) fill in what is known at that
+/// point and leave the rest `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated time of the event.
+    pub at: SimTime,
+    /// The protocol point that produced the event.
+    pub point: TracePoint,
+    /// The bus concerned, if any.
+    pub bus: Option<BusId>,
+    /// The operation kind, for operation events.
+    pub kind: Option<OpKind>,
+    /// The coherency line concerned.
+    pub line: LineAddr,
+    /// The originating node, if known.
+    pub originator: Option<NodeId>,
+    /// The transaction, if known.
+    pub txn: Option<TxnId>,
+    /// Piece index for split data transfers.
+    pub piece: Option<Piece>,
+    /// The data version carried, for data-bearing operations.
+    pub data: Option<LineVersion>,
+}
+
+/// Output format of [`TraceSink::writer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// One JSON object per line.
+    Jsonl,
+    /// Comma-separated values with a header row.
+    Csv,
+}
+
+/// Destination for trace events, chosen once per machine.
+#[derive(Default)]
+pub enum TraceSink {
+    /// Record nothing (the default). Costs one discriminant test per
+    /// potential event; no [`TraceEvent`] is even constructed.
+    #[default]
+    Disabled,
+    /// Human-readable lines on standard error (the historical
+    /// `MULTICUBE_TRACE` output).
+    Stderr,
+    /// A bounded in-memory buffer keeping the most recent events.
+    RingBuffer {
+        /// Most recent events, oldest first.
+        buf: VecDeque<TraceEvent>,
+        /// Maximum number of retained events.
+        capacity: usize,
+    },
+    /// Structured records streamed to a writer.
+    Writer {
+        /// The output stream.
+        out: Box<dyn Write + Send>,
+        /// Record format.
+        format: TraceFormat,
+    },
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceSink::Disabled => write!(f, "TraceSink::Disabled"),
+            TraceSink::Stderr => write!(f, "TraceSink::Stderr"),
+            TraceSink::RingBuffer { buf, capacity } => f
+                .debug_struct("TraceSink::RingBuffer")
+                .field("len", &buf.len())
+                .field("capacity", capacity)
+                .finish(),
+            TraceSink::Writer { format, .. } => f
+                .debug_struct("TraceSink::Writer")
+                .field("format", format)
+                .finish_non_exhaustive(),
+        }
+    }
+}
+
+impl TraceSink {
+    /// The sink selected by the environment: [`TraceSink::Stderr`] when
+    /// `MULTICUBE_TRACE` is set, [`TraceSink::Disabled`] otherwise.
+    ///
+    /// Consulted exactly once, at [`crate::Machine::new`] — never in the
+    /// per-operation dispatch path.
+    pub fn from_env() -> Self {
+        if std::env::var_os("MULTICUBE_TRACE").is_some() {
+            TraceSink::Stderr
+        } else {
+            TraceSink::Disabled
+        }
+    }
+
+    /// A bounded ring buffer keeping the most recent `capacity` events.
+    pub fn ring(capacity: usize) -> Self {
+        TraceSink::RingBuffer {
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// A streaming writer sink. The CSV header row is emitted immediately.
+    pub fn writer(mut out: Box<dyn Write + Send>, format: TraceFormat) -> Self {
+        if format == TraceFormat::Csv {
+            let _ = writeln!(out, "at_ns,point,bus,kind,line,originator,txn,piece,data");
+        }
+        TraceSink::Writer { out, format }
+    }
+
+    /// Whether events should be constructed at all.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self, TraceSink::Disabled)
+    }
+
+    /// Delivers one event to the sink.
+    pub fn record(&mut self, ev: TraceEvent) {
+        match self {
+            TraceSink::Disabled => {}
+            // Legacy parity: the historical trace printed one line per
+            // *completed* operation; start events would double the output.
+            TraceSink::Stderr if ev.point == TracePoint::OpStart => {}
+            TraceSink::Stderr => eprintln!("{}", render_stderr(&ev)),
+            TraceSink::RingBuffer { buf, capacity } => {
+                if buf.len() == *capacity {
+                    buf.pop_front();
+                }
+                buf.push_back(ev);
+            }
+            TraceSink::Writer { out, format } => {
+                let line = match format {
+                    TraceFormat::Jsonl => render_jsonl(&ev),
+                    TraceFormat::Csv => render_csv(&ev),
+                };
+                let _ = writeln!(out, "{line}");
+            }
+        }
+    }
+
+    /// The buffered events, oldest first (empty for non-buffering sinks).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        match self {
+            TraceSink::RingBuffer { buf, .. } => buf.iter().copied().collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Number of buffered events (zero for non-buffering sinks).
+    pub fn len(&self) -> usize {
+        match self {
+            TraceSink::RingBuffer { buf, .. } => buf.len(),
+            _ => 0,
+        }
+    }
+
+    /// Whether no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The historical `MULTICUBE_TRACE` line for operation events, with the
+/// decision points appended in the same spirit.
+fn render_stderr(ev: &TraceEvent) -> String {
+    match ev.point {
+        TracePoint::OpComplete => format!(
+            "[{}] {} {} {:?} orig={} {} data={:?}",
+            ev.at,
+            opt(ev.bus),
+            ev.kind.map(|k| k.name()).unwrap_or("?"),
+            ev.line,
+            opt(ev.originator),
+            opt(ev.txn),
+            ev.data,
+        ),
+        _ => format!(
+            "[{}] {} {} {:?} orig={} {}",
+            ev.at,
+            opt(ev.bus),
+            ev.point.name(),
+            ev.line,
+            opt(ev.originator),
+            opt(ev.txn),
+        ),
+    }
+}
+
+fn opt<T: std::fmt::Display>(v: Option<T>) -> String {
+    v.map(|x| x.to_string()).unwrap_or_else(|| "-".to_string())
+}
+
+fn json_str_or_null<T: std::fmt::Display>(v: Option<T>) -> String {
+    v.map(|x| format!("\"{x}\""))
+        .unwrap_or_else(|| "null".to_string())
+}
+
+fn render_jsonl(ev: &TraceEvent) -> String {
+    format!(
+        concat!(
+            "{{\"at\":{},\"point\":\"{}\",\"bus\":{},\"kind\":{},",
+            "\"line\":{},\"originator\":{},\"txn\":{},\"piece\":{},\"data\":{}}}"
+        ),
+        ev.at.as_nanos(),
+        ev.point.name(),
+        json_str_or_null(ev.bus),
+        json_str_or_null(ev.kind.map(|k| k.name())),
+        ev.line.index(),
+        json_str_or_null(ev.originator),
+        ev.txn
+            .map(|t| t.0.to_string())
+            .unwrap_or_else(|| "null".into()),
+        ev.piece
+            .map(|p| format!("\"{}/{}\"", p.index, p.of))
+            .unwrap_or_else(|| "null".into()),
+        ev.data
+            .map(|d| d.stamp().to_string())
+            .unwrap_or_else(|| "null".into()),
+    )
+}
+
+fn render_csv(ev: &TraceEvent) -> String {
+    format!(
+        "{},{},{},{},{},{},{},{},{}",
+        ev.at.as_nanos(),
+        ev.point.name(),
+        opt(ev.bus),
+        ev.kind.map(|k| k.name()).unwrap_or("-"),
+        ev.line.index(),
+        opt(ev.originator),
+        ev.txn
+            .map(|t| t.0.to_string())
+            .unwrap_or_else(|| "-".into()),
+        ev.piece
+            .map(|p| format!("{}/{}", p.index, p.of))
+            .unwrap_or_else(|| "-".into()),
+        ev.data
+            .map(|d| d.stamp().to_string())
+            .unwrap_or_else(|| "-".into()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(at: u64, point: TracePoint) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::from_nanos(at),
+            point,
+            bus: Some(BusId::row(2)),
+            kind: Some(OpKind::ReadRowRequest),
+            line: LineAddr::new(0x40),
+            originator: Some(NodeId::new(5)),
+            txn: Some(TxnId(9)),
+            piece: None,
+            data: None,
+        }
+    }
+
+    #[test]
+    fn disabled_sink_buffers_nothing() {
+        let mut sink = TraceSink::Disabled;
+        assert!(!sink.is_enabled());
+        sink.record(event(1, TracePoint::OpComplete));
+        assert!(sink.is_empty());
+        assert!(sink.events().is_empty());
+    }
+
+    #[test]
+    fn ring_buffer_is_bounded_and_drops_oldest() {
+        let mut sink = TraceSink::ring(3);
+        assert!(sink.is_enabled());
+        for t in 0..5 {
+            sink.record(event(t, TracePoint::OpStart));
+        }
+        let evs = sink.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].at, SimTime::from_nanos(2));
+        assert_eq!(evs[2].at, SimTime::from_nanos(4));
+    }
+
+    #[test]
+    fn jsonl_record_is_well_formed() {
+        let line = render_jsonl(&event(7, TracePoint::OpComplete));
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"at\":7"));
+        assert!(line.contains("\"point\":\"op-complete\""));
+        assert!(line.contains("\"bus\":\"row2\""));
+        assert!(line.contains("\"kind\":\"READ(ROW,REQ)\""));
+        assert!(line.contains("\"line\":64"));
+        assert!(line.contains("\"originator\":\"P5\""));
+        assert!(line.contains("\"txn\":9"));
+        assert!(line.contains("\"piece\":null"));
+        assert!(line.contains("\"data\":null"));
+    }
+
+    #[test]
+    fn csv_writer_emits_header_and_rows() {
+        let buf: Vec<u8> = Vec::new();
+        let shared = std::sync::Arc::new(std::sync::Mutex::new(buf));
+
+        struct Tee(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+        impl Write for Tee {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let mut sink = TraceSink::writer(Box::new(Tee(shared.clone())), TraceFormat::Csv);
+        sink.record(event(3, TracePoint::Retry));
+        let text = String::from_utf8(shared.lock().unwrap().clone()).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "at_ns,point,bus,kind,line,originator,txn,piece,data"
+        );
+        assert_eq!(
+            lines.next().unwrap(),
+            "3,retry,row2,READ(ROW,REQ),64,P5,9,-,-"
+        );
+    }
+
+    #[test]
+    fn stderr_format_matches_legacy_trace_line() {
+        let line = render_stderr(&event(11, TracePoint::OpComplete));
+        assert_eq!(
+            line,
+            "[11ns] row2 READ(ROW,REQ) L0x40 orig=P5 txn9 data=None"
+        );
+    }
+}

@@ -17,11 +17,7 @@ struct Step {
 
 fn steps(max_len: usize) -> impl Strategy<Value = Vec<Step>> {
     prop::collection::vec(
-        (any::<u8>(), 0u8..5, any::<u8>()).prop_map(|(node, kind, line)| Step {
-            node,
-            kind,
-            line,
-        }),
+        (any::<u8>(), 0u8..5, any::<u8>()).prop_map(|(node, kind, line)| Step { node, kind, line }),
         1..max_len,
     )
 }

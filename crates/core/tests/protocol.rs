@@ -221,11 +221,13 @@ fn allocate_behaves_like_readmod_but_cheaper_on_the_bus() {
     let line = line_with_home(n, 0, 1);
     let node = m1.config().topology().node(1, 2);
 
-    m1.submit(node, Request::new(RequestKind::Write, line)).unwrap();
+    m1.submit(node, Request::new(RequestKind::Write, line))
+        .unwrap();
     m1.advance().unwrap();
     let t_write = m1.run_to_quiescence();
 
-    m2.submit(node, Request::new(RequestKind::Allocate, line)).unwrap();
+    m2.submit(node, Request::new(RequestKind::Allocate, line))
+        .unwrap();
     m2.advance().unwrap();
     let t_alloc = m2.run_to_quiescence();
 
@@ -257,7 +259,8 @@ fn explicit_writeback_restores_memory() {
     m.run_to_quiescence();
     let v = m.committed_version(line);
 
-    m.submit(node, Request::new(RequestKind::Writeback, line)).unwrap();
+    m.submit(node, Request::new(RequestKind::Writeback, line))
+        .unwrap();
     m.advance().unwrap();
     m.run_to_quiescence();
     let home = m.home_column(line);
@@ -391,7 +394,8 @@ fn tas_succeeds_once_then_fails() {
     let a = NodeId::new(3);
     let b = NodeId::new(12);
 
-    m.submit(a, Request::new(RequestKind::TestAndSet, line)).unwrap();
+    m.submit(a, Request::new(RequestKind::TestAndSet, line))
+        .unwrap();
     let first = m.advance().unwrap();
     assert!(first.success);
     m.run_to_quiescence();
@@ -401,7 +405,8 @@ fn tas_succeeds_once_then_fails() {
     );
 
     // B's test-and-set fails; the line stays with A.
-    m.submit(b, Request::new(RequestKind::TestAndSet, line)).unwrap();
+    m.submit(b, Request::new(RequestKind::TestAndSet, line))
+        .unwrap();
     let second = m.advance().unwrap();
     assert!(!second.success);
     m.run_to_quiescence();
@@ -422,14 +427,16 @@ fn tas_lock_release_allows_next_acquire() {
     let a = NodeId::new(3);
     let b = NodeId::new(12);
 
-    m.submit(a, Request::new(RequestKind::TestAndSet, line)).unwrap();
+    m.submit(a, Request::new(RequestKind::TestAndSet, line))
+        .unwrap();
     assert!(m.advance().unwrap().success);
     m.run_to_quiescence();
 
     // A releases: clears the sync word in its owned copy.
     assert!(m.write_sync_word(a, line, 0));
 
-    m.submit(b, Request::new(RequestKind::TestAndSet, line)).unwrap();
+    m.submit(b, Request::new(RequestKind::TestAndSet, line))
+        .unwrap();
     let done = m.advance().unwrap();
     assert!(done.success, "lock released, B must acquire");
     m.run_to_quiescence();
@@ -528,7 +535,9 @@ fn snarfing_reduces_misses() {
 fn broadcast_filter_skips_fanout_without_sharers() {
     let line = LineAddr::new(9);
     let run = |filter: bool| {
-        let config = MachineConfig::grid(4).unwrap().with_broadcast_filter(filter);
+        let config = MachineConfig::grid(4)
+            .unwrap()
+            .with_broadcast_filter(filter);
         let mut m = Machine::new(config, 7).unwrap();
         let writer = NodeId::new(6);
         m.submit(writer, Request::write(line)).unwrap();
@@ -586,7 +595,8 @@ fn l1_read_hits_are_fast_and_bus_free() {
     assert_eq!(m.metrics().l1_hits.get(), 1);
     let (row, col) = m.bus_op_totals();
     assert_eq!(
-        m.metrics().local_hits.count, 1,
+        m.metrics().local_hits.count,
+        1,
         "L1 hit recorded as a local completion"
     );
     // No new bus traffic for the L1 hit.
@@ -611,7 +621,10 @@ fn writes_are_written_through_never_served_by_l1() {
     // cache (an upgrade transaction here, since the line is shared).
     m.submit_word(node, word, true).unwrap();
     let w = m.advance().unwrap();
-    assert!(w.latency.as_nanos() > 100, "write-through cannot be an L1 hit");
+    assert!(
+        w.latency.as_nanos() > 100,
+        "write-through cannot be an L1 hit"
+    );
     m.run_to_quiescence();
     m.check_coherence().unwrap();
 }

@@ -29,9 +29,7 @@ fn two_writers_race_one_wins_then_other_follows() {
     // from the winner, so the final owner is whoever retried last.
     let owners = [a, b]
         .iter()
-        .filter(|&&n| {
-            m.controller(n).mode_of(&line) == Some(multicube::LineMode::Modified)
-        })
+        .filter(|&&n| m.controller(n).mode_of(&line) == Some(multicube::LineMode::Modified))
         .count();
     assert_eq!(owners, 1);
     // The memory bounce / retransmission machinery fired.
@@ -121,10 +119,7 @@ fn full_grid_hot_spot_storm() {
         m.check_coherence().unwrap();
     }
     // Races really happened.
-    assert!(
-        m.metrics().memory_bounces.get() > 0
-            || m.metrics().write_unmodified.retries.get() > 0
-    );
+    assert!(m.metrics().memory_bounces.get() > 0 || m.metrics().write_unmodified.retries.get() > 0);
 }
 
 /// Concurrent TAS storm on one lock line: exactly one success per epoch.
@@ -178,7 +173,8 @@ fn writeback_request_interleaving() {
 
     // a flushes while the reader fetches: both orders are legal, the
     // reader must simply see the committed version.
-    m.submit(a, Request::new(RequestKind::Writeback, line)).unwrap();
+    m.submit(a, Request::new(RequestKind::Writeback, line))
+        .unwrap();
     m.submit(reader, Request::read(line)).unwrap();
     m.run_to_quiescence();
     assert_eq!(
@@ -189,7 +185,8 @@ fn writeback_request_interleaving() {
     m.submit(b, Request::write(line)).unwrap();
     m.advance().unwrap();
     m.run_to_quiescence();
-    m.submit(b, Request::new(RequestKind::Writeback, line)).unwrap();
+    m.submit(b, Request::new(RequestKind::Writeback, line))
+        .unwrap();
     m.advance().unwrap();
     m.run_to_quiescence();
     let home = m.home_column(line);

@@ -390,8 +390,7 @@ mod tests {
 
     #[test]
     fn fully_associative_uses_whole_capacity() {
-        let mut c: SetAssocCache<u32> =
-            SetAssocCache::new(CacheGeometry::fully_associative(8));
+        let mut c: SetAssocCache<u32> = SetAssocCache::new(CacheGeometry::fully_associative(8));
         for i in 0..8 {
             assert!(c.insert(line(i * 100), 0).is_none());
         }

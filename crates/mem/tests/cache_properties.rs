@@ -1,8 +1,8 @@
 //! Property tests for the memory-hierarchy containers.
 
 use multicube_mem::{
-    CacheGeometry, LineAddr, LineGeometry, MemoryBank, LineVersion, MltInsert,
-    ModifiedLineTable, SetAssocCache, WordAddr,
+    CacheGeometry, LineAddr, LineGeometry, LineVersion, MemoryBank, MltInsert, ModifiedLineTable,
+    SetAssocCache, WordAddr,
 };
 use proptest::prelude::*;
 use std::collections::HashSet;

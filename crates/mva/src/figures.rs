@@ -95,9 +95,7 @@ pub fn figure4() -> Vec<FigureSeries> {
     let rates = default_rates();
     [4u32, 8, 16, 32, 64]
         .iter()
-        .map(|&b| {
-            FigureSeries::sweep(format!("block={b}"), &ModelParams::figure4(b), &rates)
-        })
+        .map(|&b| FigureSeries::sweep(format!("block={b}"), &ModelParams::figure4(b), &rates))
         .collect()
 }
 
@@ -175,8 +173,7 @@ mod tests {
         // "The curves begin to converge as invalidations increase to the
         // point where they saturate the available bus bandwidth."
         let series = figure3();
-        let low_rate_gap =
-            series[0].points[1].efficiency - series[4].points[1].efficiency;
+        let low_rate_gap = series[0].points[1].efficiency - series[4].points[1].efficiency;
         let spread_tail: Vec<f64> = series.iter().map(|s| s.tail_efficiency()).collect();
         let tail_gap = (spread_tail[3] - spread_tail[4]).abs();
         let mid_gap = (series[3].points[10].efficiency - series[4].points[10].efficiency).abs();

@@ -6,15 +6,13 @@
 //! seed. Identical seeds produce identical runs, which the integration
 //! tests assert.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 /// A seeded random source with the distribution helpers simulations need.
 ///
-/// Wraps [`rand::rngs::StdRng`] (a cryptographically strong, portable,
-/// reproducible generator) and adds the small set of distributions used by
-/// the workload model: Bernoulli trials, uniform ranges, and exponential
-/// inter-arrival times.
+/// The generator is xoshiro256++ (Blackman & Vigna), seeded through a
+/// SplitMix64 expansion — small, fast, dependency-free, and statistically
+/// strong for simulation purposes. It adds the small set of distributions
+/// used by the workload model: Bernoulli trials, uniform ranges, and
+/// exponential inter-arrival times.
 ///
 /// # Example
 ///
@@ -29,14 +27,30 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct DeterministicRng {
-    inner: StdRng,
+    s: [u64; 4],
+}
+
+/// SplitMix64 finalization step, used for seeding and stream derivation.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl DeterministicRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed(seed: u64) -> Self {
+        let mut sm = seed;
         DeterministicRng {
-            inner: StdRng::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
     }
 
@@ -54,16 +68,33 @@ impl DeterministicRng {
         DeterministicRng::seed(z)
     }
 
-    /// Next raw 64-bit value.
+    /// Next raw 64-bit value (xoshiro256++ step).
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 
-    /// A uniform value in `[0, 1)`.
+    /// Next raw 32-bit value.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform value in `[0, 1)` (53 bits of precision).
     #[inline]
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A uniform integer in `[0, bound)`.
@@ -74,7 +105,9 @@ impl DeterministicRng {
     #[inline]
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "below(0) is meaningless");
-        self.inner.gen_range(0..bound)
+        // Widening-multiply range reduction (Lemire); the bias is at most
+        // bound/2^64, irrelevant for simulation workloads.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
     }
 
     /// A Bernoulli trial that succeeds with probability `p`.
@@ -134,21 +167,6 @@ impl DeterministicRng {
         } else {
             raw
         }
-    }
-}
-
-impl RngCore for DeterministicRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 
@@ -244,7 +262,12 @@ mod tests {
             counts[r.zipf(n, 0.8) as usize] += 1;
         }
         // The hottest item dominates any mid-range item by a wide margin.
-        assert!(counts[0] > counts[100] * 5, "{} vs {}", counts[0], counts[100]);
+        assert!(
+            counts[0] > counts[100] * 5,
+            "{} vs {}",
+            counts[0],
+            counts[100]
+        );
         // The whole domain is reachable.
         assert!(counts.iter().filter(|&&c| c > 0).count() > 100);
     }
@@ -264,5 +287,17 @@ mod tests {
             seen[r.below(8) as usize] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn below_is_reasonably_uniform() {
+        let mut r = DeterministicRng::seed(17);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[r.below(10) as usize] += 1;
+        }
+        for c in counts {
+            assert!((9_000..11_000).contains(&c), "count {c} outside 10% band");
+        }
     }
 }

@@ -187,8 +187,14 @@ impl Barrier {
                     if i == count - 1 {
                         // Our flag is the generation line: everyone is in.
                         self.pass(
-                            machine, node, &mut st, &mut episode, &arrivals,
-                            &mut episode_end, count, i,
+                            machine,
+                            node,
+                            &mut st,
+                            &mut episode,
+                            &arrivals,
+                            &mut episode_end,
+                            count,
+                            i,
                         );
                     } else {
                         st.insert(node, St::SpinGen);
@@ -200,8 +206,14 @@ impl Barrier {
                 (St::SpinGen, RequestKind::Read) => {
                     if machine.sync_word(gen_line) >= gen {
                         self.pass(
-                            machine, node, &mut st, &mut episode, &arrivals,
-                            &mut episode_end, count, i,
+                            machine,
+                            node,
+                            &mut st,
+                            &mut episode,
+                            &arrivals,
+                            &mut episode_end,
+                            count,
+                            i,
                         );
                     } else {
                         machine.submit_at(node, Request::read(gen_line), c.at + self.spin_ns);
@@ -261,10 +273,7 @@ impl Barrier {
         if next >= self.episodes {
             st.insert(node, St::Done);
         } else {
-            st.insert(
-                node,
-                if i == 0 { St::WriteFlag } else { St::WaitPred },
-            );
+            st.insert(node, if i == 0 { St::WriteFlag } else { St::WaitPred });
             let req = if i == 0 {
                 Request::write(self.flag(0))
             } else {
@@ -297,8 +306,8 @@ mod tests {
         };
         let small = run(2); // 4 nodes
         let large = run(4); // 16 nodes
-        // The flag chain keeps per-node cost roughly flat (it grows only
-        // with the broadcast width n, not with N = n^2).
+                            // The flag chain keeps per-node cost roughly flat (it grows only
+                            // with the broadcast width n, not with N = n^2).
         assert!(
             large < small * 3.0,
             "per-node episode cost grew superlinearly: {small} -> {large}"

@@ -162,10 +162,7 @@ impl LockExperiment {
                         handoff_to = None;
                         st.insert(c.node, St::Holding);
                         order.push(c.node);
-                        let started = round_started
-                            .get(&c.node)
-                            .copied()
-                            .unwrap_or(c.at);
+                        let started = round_started.get(&c.node).copied().unwrap_or(c.at);
                         wait_sum += c.at.since(started).as_nanos() as f64;
                         // Hold timer.
                         machine.submit_at(
@@ -213,11 +210,7 @@ impl LockExperiment {
                     *left -= 1;
                     if *left > 0 {
                         st.insert(c.node, St::Thinking);
-                        machine.submit_at(
-                            c.node,
-                            tas(self.lock_line),
-                            c.at + self.think_ns,
-                        );
+                        machine.submit_at(c.node, tas(self.lock_line), c.at + self.think_ns);
                     } else {
                         st.insert(c.node, St::Done);
                     }
@@ -301,9 +294,13 @@ mod tests {
     #[test]
     fn queue_lock_completes_all_rounds_with_fewer_ops() {
         let mut m1 = machine();
-        let spin = LockExperiment::new(3).with_hold_ns(20_000).run::<SpinLock>(&mut m1);
+        let spin = LockExperiment::new(3)
+            .with_hold_ns(20_000)
+            .run::<SpinLock>(&mut m1);
         let mut m2 = machine();
-        let queue = LockExperiment::new(3).with_hold_ns(20_000).run::<QueueLock>(&mut m2);
+        let queue = LockExperiment::new(3)
+            .with_hold_ns(20_000)
+            .run::<QueueLock>(&mut m2);
         assert_eq!(queue.acquisitions, spin.acquisitions);
         assert!(
             queue.ops_per_acquisition() < spin.ops_per_acquisition(),

@@ -160,8 +160,7 @@ mod tests {
 
     #[test]
     fn bandwidth_per_processor_grows_with_k_for_fixed_n() {
-        let per_proc =
-            |k: u8| total_bandwidth(8, k) / (8f64).powi(k as i32);
+        let per_proc = |k: u8| total_bandwidth(8, k) / (8f64).powi(k as i32);
         assert!(per_proc(3) > per_proc(2));
         assert!((per_proc(2) - 2.0 / 8.0).abs() < 1e-12);
         assert!((per_proc(3) - 3.0 / 8.0).abs() < 1e-12);

@@ -138,6 +138,11 @@ impl Workload for ProducerConsumer {
 
 /// Phased numerical computation: long private phases punctuated by
 /// boundary exchange with the four grid neighbours (stencil pattern).
+///
+/// Private accesses model a sweep over the node's subgrid: each phase
+/// works a small hot window of private lines and the window slides by
+/// [`Self::WINDOW_STRIDE`] per phase, so consecutive phases overlap and
+/// most private accesses hit lines fetched a phase or two earlier.
 #[derive(Debug)]
 pub struct PhasedNumeric {
     /// Grid side (to compute neighbours).
@@ -145,6 +150,8 @@ pub struct PhasedNumeric {
     /// Private accesses per phase before exchanging.
     phase_len: u8,
     pc: Vec<u8>,
+    /// Per-node start of the sliding private hot window.
+    window_base: Vec<u64>,
 }
 
 impl PhasedNumeric {
@@ -155,8 +162,16 @@ impl PhasedNumeric {
             n,
             phase_len: phase_len.max(1),
             pc: Vec::new(),
+            window_base: Vec::new(),
         }
     }
+
+    /// Private lines per node (the subgrid footprint).
+    const PRIVATE_LINES: u64 = 256;
+    /// Lines in the per-phase hot window.
+    const WINDOW_LINES: u64 = 4;
+    /// How far the hot window slides per phase.
+    const WINDOW_STRIDE: u64 = 2;
 
     fn boundary_line(&self, owner_row: u32, owner_col: u32) -> LineAddr {
         LineAddr::new((owner_row * self.n + owner_col) as u64)
@@ -173,13 +188,24 @@ impl Workload for PhasedNumeric {
         if self.pc.len() <= idx {
             self.pc.resize(idx + 1, 0);
         }
+        if self.window_base.len() <= idx {
+            self.window_base.resize(idx + 1, 0);
+        }
         let step = self.pc[idx];
         self.pc[idx] = (step + 1) % (self.phase_len + 2);
+        if self.pc[idx] == 0 {
+            // Phase boundary: slide the private hot window along the subgrid.
+            self.window_base[idx] =
+                (self.window_base[idx] + Self::WINDOW_STRIDE) % Self::PRIVATE_LINES;
+        }
         let row = node.index() / self.n;
         let col = node.index() % self.n;
         Some(if step < self.phase_len {
-            // Private compute: read-mostly with occasional writes.
-            let line = private_line(node, rng.below(256));
+            // Private compute: read-mostly with occasional writes, confined
+            // to the current hot window so the sweep re-uses cached lines.
+            let slot =
+                (self.window_base[idx] + rng.below(Self::WINDOW_LINES)) % Self::PRIVATE_LINES;
+            let line = private_line(node, slot);
             let think = 5_000 + rng.below(5_000);
             if rng.chance(0.3) {
                 (think, Request::write(line))
@@ -356,7 +382,11 @@ mod tests {
             let mut m = machine();
             w(&mut m)
         };
-        let oltp = ops(&mut |m| WorkloadRunner::new(50).run(m, &mut Oltp::new(16)).ops_per_request);
+        let oltp = ops(&mut |m| {
+            WorkloadRunner::new(50)
+                .run(m, &mut Oltp::new(16))
+                .ops_per_request
+        });
         let pc = ops(&mut |m| {
             WorkloadRunner::new(50)
                 .run(m, &mut ProducerConsumer::new())

@@ -80,11 +80,11 @@ impl WorkloadRunner {
         let mut completed = 0u64;
 
         let issue_next = |machine: &mut Machine,
-                              workload: &mut W,
-                              rng: &mut DeterministicRng,
-                              remaining: &mut [u64],
-                              think_ns: &mut [f64],
-                              node: NodeId| {
+                          workload: &mut W,
+                          rng: &mut DeterministicRng,
+                          remaining: &mut [u64],
+                          think_ns: &mut [f64],
+                          node: NodeId| {
             let idx = node.as_usize();
             if remaining[idx] == 0 {
                 return;

@@ -8,7 +8,6 @@
 //! so an interesting run can be archived and re-examined under different
 //! machine configurations.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use multicube::{Request, RequestKind};
 use multicube_mem::LineAddr;
 use multicube_sim::DeterministicRng;
@@ -75,6 +74,36 @@ impl core::fmt::Display for TraceDecodeError {
 impl std::error::Error for TraceDecodeError {}
 
 const MAGIC: &[u8; 8] = b"MCUBTRC1";
+
+/// A bounds-checked big-endian reader over a byte slice.
+struct Cursor<'a> {
+    data: &'a [u8],
+    position: usize,
+}
+
+impl Cursor<'_> {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.position
+    }
+
+    fn take<const N: usize>(&mut self) -> Option<[u8; N]> {
+        let bytes = self.data.get(self.position..self.position + N)?;
+        self.position += N;
+        Some(bytes.try_into().expect("slice of length N"))
+    }
+
+    fn get_u8(&mut self) -> Option<u8> {
+        self.take::<1>().map(|b| b[0])
+    }
+
+    fn get_u32(&mut self) -> Option<u32> {
+        self.take::<4>().map(u32::from_be_bytes)
+    }
+
+    fn get_u64(&mut self) -> Option<u64> {
+        self.take::<8>().map(u64::from_be_bytes)
+    }
+}
 
 /// A recorded request stream.
 ///
@@ -143,18 +172,18 @@ impl Trace {
         self.records.iter()
     }
 
-    /// Serializes to the compact binary format.
-    pub fn to_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(8 + 4 + self.records.len() * 21);
-        buf.put_slice(MAGIC);
-        buf.put_u32(self.records.len() as u32);
+    /// Serializes to the compact binary format (big-endian fields).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(8 + 4 + self.records.len() * 21);
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&(self.records.len() as u32).to_be_bytes());
         for r in &self.records {
-            buf.put_u32(r.node);
-            buf.put_u64(r.delay_ns);
-            buf.put_u8(r.kind);
-            buf.put_u64(r.line);
+            buf.extend_from_slice(&r.node.to_be_bytes());
+            buf.extend_from_slice(&r.delay_ns.to_be_bytes());
+            buf.push(r.kind);
+            buf.extend_from_slice(&r.line.to_be_bytes());
         }
-        buf.freeze()
+        buf
     }
 
     /// Deserializes from the binary format.
@@ -162,21 +191,21 @@ impl Trace {
     /// # Errors
     ///
     /// See [`TraceDecodeError`].
-    pub fn from_bytes(mut data: &[u8]) -> Result<Self, TraceDecodeError> {
+    pub fn from_bytes(data: &[u8]) -> Result<Self, TraceDecodeError> {
         if data.len() < 12 || &data[..8] != MAGIC {
             return Err(TraceDecodeError::BadMagic);
         }
-        data.advance(8);
-        let count = data.get_u32() as usize;
-        let mut records = Vec::with_capacity(count);
+        let mut cursor = Cursor { data, position: 8 };
+        let count = cursor.get_u32().expect("length checked above") as usize;
+        let mut records = Vec::with_capacity(count.min(1 << 20));
         for _ in 0..count {
-            if data.remaining() < 21 {
+            if cursor.remaining() < 21 {
                 return Err(TraceDecodeError::Truncated);
             }
-            let node = data.get_u32();
-            let delay_ns = data.get_u64();
-            let kind = data.get_u8();
-            let line = data.get_u64();
+            let node = cursor.get_u32().expect("length checked");
+            let delay_ns = cursor.get_u64().expect("length checked");
+            let kind = cursor.get_u8().expect("length checked");
+            let line = cursor.get_u64().expect("length checked");
             decode_kind(kind).ok_or(TraceDecodeError::BadKind(kind))?;
             records.push(TraceRecord {
                 node,
@@ -284,10 +313,7 @@ mod tests {
         );
         let mut bytes = Trace::new().to_bytes().to_vec();
         bytes[8..12].copy_from_slice(&5u32.to_be_bytes()); // claim 5 records
-        assert_eq!(
-            Trace::from_bytes(&bytes),
-            Err(TraceDecodeError::Truncated)
-        );
+        assert_eq!(Trace::from_bytes(&bytes), Err(TraceDecodeError::Truncated));
     }
 
     #[test]

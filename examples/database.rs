@@ -14,7 +14,9 @@ use multicube_suite::machine::{Machine, MachineConfig};
 use multicube_suite::workload::{Oltp, WorkloadRunner};
 
 fn main() {
-    println!("OLTP on the Wisconsin Multicube (requests: 2x index read, 1x tuple update, 1x log append)");
+    println!(
+        "OLTP on the Wisconsin Multicube (requests: 2x index read, 1x tuple update, 1x log append)"
+    );
     println!(
         "{:>6} {:>8} {:>12} {:>12} {:>14} {:>12}",
         "grid", "procs", "efficiency", "ops/request", "mean lat (ns)", "allocates"

@@ -51,9 +51,18 @@ fn main() {
     println!("synthetic run: 64 processors x 100 requests @ 10 req/ms");
     println!("  efficiency            {:>8.4}", report.efficiency);
     println!("  mean latency          {:>8.0} ns", report.mean_latency_ns);
-    println!("  row bus utilization   {:>8.4}", report.utilization.row_mean);
-    println!("  col bus utilization   {:>8.4}", report.utilization.col_mean);
-    println!("  bus ops / transaction {:>8.2}", report.ops_per_transaction());
+    println!(
+        "  row bus utilization   {:>8.4}",
+        report.utilization.row_mean
+    );
+    println!(
+        "  col bus utilization   {:>8.4}",
+        report.utilization.col_mean
+    );
+    println!(
+        "  bus ops / transaction {:>8.2}",
+        report.ops_per_transaction()
+    );
     println!(
         "  invalidations         {:>8}",
         report.metrics.invalidations.get()

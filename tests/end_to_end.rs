@@ -33,7 +33,11 @@ fn every_workload_leaves_the_machine_coherent() {
         f(&mut m)
     };
     let counts = [
-        run(&mut |m| WorkloadRunner::new(30).run(m, &mut Oltp::new(32)).requests_completed),
+        run(&mut |m| {
+            WorkloadRunner::new(30)
+                .run(m, &mut Oltp::new(32))
+                .requests_completed
+        }),
         run(&mut |m| {
             WorkloadRunner::new(30)
                 .run(m, &mut ProducerConsumer::new())
@@ -120,7 +124,9 @@ fn io_dma_pattern_streams_through_a_snooping_cache() {
 fn whole_stack_is_deterministic() {
     let run = || {
         let mut m = Machine::new(MachineConfig::grid(4).unwrap(), 77).unwrap();
-        let report = WorkloadRunner::new(40).with_seed(5).run(&mut m, &mut Oltp::new(16));
+        let report = WorkloadRunner::new(40)
+            .with_seed(5)
+            .run(&mut m, &mut Oltp::new(16));
         (
             report.requests_completed,
             report.bus_ops,

@@ -1,0 +1,127 @@
+//! Offline mini-proptest.
+//!
+//! The container this workspace builds in cannot reach a crate registry, so
+//! this crate reimplements the (small) subset of the `proptest` API the
+//! workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with an optional `#![proptest_config(..)]`
+//!   header and `pattern in strategy` arguments;
+//! * [`Strategy`] with `prop_map` / `boxed`, integer range strategies,
+//!   tuple strategies, [`strategy::Just`], [`prop_oneof!`] unions,
+//!   `any::<T>()` and `prop::collection::vec`;
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`;
+//! * re-running of stored `*.proptest-regressions` seeds before novel
+//!   cases are generated (`cc <hex>` lines seed the generator directly;
+//!   shrinking is not implemented, so a fresh failure reports the full
+//!   generated input instead of a minimal one).
+//!
+//! Case generation is fully deterministic: case `i` of test `t` derives its
+//! RNG seed from `(t, i)`, so failures reproduce without a persistence file.
+
+use std::fmt::Debug;
+
+pub mod arbitrary;
+pub mod collection;
+pub mod rng;
+pub mod runner;
+pub mod strategy;
+
+pub use arbitrary::{any, Arbitrary};
+pub use strategy::Strategy;
+
+/// Runner configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of novel cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` novel cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirror of proptest's `prelude::prop` module alias.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests: `proptest! { #[test] fn f(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let strategy = ($($strat,)+);
+                $crate::runner::run(
+                    &config,
+                    file!(),
+                    env!("CARGO_MANIFEST_DIR"),
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &strategy,
+                    |($($pat,)+)| $body,
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts inside a property (here: a plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// A uniform choice among strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,87 @@
+//! The property runner: stored regression seeds first, then novel cases.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+use crate::ProptestConfig;
+
+/// FNV-1a over a byte string (stable across runs and platforms).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Locates the `*.proptest-regressions` file persisted next to the test
+/// source. `file` is `file!()` (workspace-root-relative) and `manifest_dir`
+/// is the test crate's `CARGO_MANIFEST_DIR`; stored seeds survive running
+/// from either the workspace root or the crate directory.
+fn regression_candidates(file: &str, manifest_dir: &str) -> Vec<PathBuf> {
+    let sibling = if let Some(stem) = file.strip_suffix(".rs") {
+        format!("{stem}.proptest-regressions")
+    } else {
+        return Vec::new();
+    };
+    vec![
+        PathBuf::from(&sibling),
+        PathBuf::from(manifest_dir)
+            .join("..")
+            .join("..")
+            .join(&sibling),
+        PathBuf::from(manifest_dir).join(&sibling),
+    ]
+}
+
+/// Parses `cc <hex> [# comment]` lines into RNG seeds.
+fn stored_seeds(file: &str, manifest_dir: &str) -> Vec<u64> {
+    for path in regression_candidates(file, manifest_dir) {
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        return text
+            .lines()
+            .filter_map(|line| {
+                let rest = line.trim().strip_prefix("cc ")?;
+                let token = rest.split_whitespace().next()?;
+                Some(fnv1a(token.as_bytes()))
+            })
+            .collect();
+    }
+    Vec::new()
+}
+
+/// Runs `test` against stored regression seeds, then `config.cases` novel
+/// deterministic cases. Panics (with the generated input printed) on the
+/// first failing case.
+pub fn run<S, F>(
+    config: &ProptestConfig,
+    file: &str,
+    manifest_dir: &str,
+    test_name: &str,
+    strategy: &S,
+    test: F,
+) where
+    S: Strategy,
+    F: Fn(S::Value),
+{
+    let mut seeds = stored_seeds(file, manifest_dir);
+    let base = fnv1a(test_name.as_bytes());
+    seeds.extend((0..config.cases as u64).map(|i| base ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+    for (case, seed) in seeds.into_iter().enumerate() {
+        let mut rng = TestRng::seed(seed);
+        let value = strategy.generate(&mut rng);
+        let shown = format!("{value:?}");
+        let result = catch_unwind(AssertUnwindSafe(|| test(value)));
+        if let Err(panic) = result {
+            eprintln!(
+                "proptest case failed: {test_name} (case {case}, seed {seed:#018x})\n  input: {shown}"
+            );
+            resume_unwind(panic);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container this workspace builds in has no registry access, and no
+//! code in the workspace serializes through serde — the `#[derive]`s are
+//! forward-looking annotations. This shim provides the two trait names and
+//! re-exports the no-op derives so those annotations keep compiling. If real
+//! serialization is ever needed, replace this with the actual crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (never implemented: the no-op
+/// derive expands to nothing, and nothing in the workspace bounds on it).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}

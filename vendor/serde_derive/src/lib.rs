@@ -1,0 +1,19 @@
+//! No-op `Serialize` / `Deserialize` derives.
+//!
+//! The workspace builds in an offline container without the real `serde`
+//! crates. Nothing in the workspace actually serializes through serde (the
+//! derives are forward-looking annotations), so the derives here expand to
+//! nothing. The `serde` attribute is registered as inert so `#[serde(...)]`
+//! field attributes would not break compilation if added later.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
