@@ -13,13 +13,16 @@
 //!   sync      E-4.1: lock traffic, spinning vs distributed queue
 //!   baseline  E-1.1: single-bus multi vs Multicube
 //!   ablations A-1..A-3: MLT sizing, signal-drop robustness, snarfing
+//!   faults    A-2+: composite fault sweep — latency/retries vs fault rate
 //!   kdim      E-6.1: the k-dimensional Multicube model (§6 future work)
 //!   telemetry per-bus utilization/queueing + per-class latency histograms
+//!             and resilience counters (retries, backoff, watchdog)
 //!   all       everything above
 //! ```
 
 use multicube_bench::{
-    baseline_rows, costs_table, mlt_rows, render_bus_telemetry, render_class_stats, render_series,
+    baseline_rows, costs_table, fault_sweep_rows, mlt_rows, render_bus_telemetry,
+    render_class_stats, render_fault_sweep, render_resilience, render_series,
     render_series_utilization, robustness_rows, scaling_rows, sim_figure2, sim_figure3,
     sim_figure4, sim_latency_modes, snarf_rows, sync_rows, SweepConfig,
 };
@@ -280,6 +283,29 @@ fn ablations(opts: &Options) {
     println!();
 }
 
+fn faults(opts: &Options) {
+    let n = if opts.quick { 4 } else { 8 };
+    let txns = opts.txns.unwrap_or(60);
+    let probs = [0.0, 0.1, 0.25, 0.5, 0.75];
+    let rows = fault_sweep_rows(n, &probs, txns);
+    println!(
+        "{}",
+        render_fault_sweep(
+            &format!(
+                "A-2+: composite fault sweep (n = {n}; drop p, loss p/2, dup p/4, \
+                 nack p/4, mlt-delay p/4, blackout p/8; backoff 100ns..25us)"
+            ),
+            &rows
+        )
+    );
+    if let Some(dir) = &opts.csv {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        let path = dir.join("fault_sweep.csv");
+        multicube_bench::write_fault_sweep_csv(&path, &rows).expect("write csv");
+        eprintln!("wrote {}", path.display());
+    }
+}
+
 fn kdim(_opts: &Options) {
     use multicube_mva::{dimension_sweep, ModelParams};
     println!("== E-6.1: k-dimensional Multicube (model; §6 'future research') ==");
@@ -332,6 +358,13 @@ fn telemetry(opts: &Options) {
             &report
         )
     );
+    println!(
+        "{}",
+        render_resilience(
+            &format!("Telemetry: resilience — retries, backoff and fault counters (n = {n})"),
+            &report
+        )
+    );
     if let Some(dir) = &opts.csv {
         std::fs::create_dir_all(dir).expect("create csv dir");
         let bus_path = dir.join("telemetry_buses.csv");
@@ -379,6 +412,7 @@ fn main() {
         "sync" => sync(&opts),
         "baseline" => baseline(&opts),
         "ablations" => ablations(&opts),
+        "faults" => faults(&opts),
         "kdim" => kdim(&opts),
         "telemetry" => telemetry(&opts),
         "all" => {
@@ -391,6 +425,7 @@ fn main() {
             sync(&opts);
             baseline(&opts);
             ablations(&opts);
+            faults(&opts);
             kdim(&opts);
             telemetry(&opts);
         }

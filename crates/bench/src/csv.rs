@@ -47,12 +47,15 @@ pub fn write_series_csv(path: &Path, series: &[FigureSeries]) -> std::io::Result
 /// Propagates I/O errors from creating or writing the file.
 pub fn write_bus_telemetry_csv(path: &Path, report: &RunReport) -> std::io::Result<()> {
     let mut f = std::fs::File::create(path)?;
-    writeln!(f, "bus,utilization,ops,data_ops,queue_high_water")?;
+    writeln!(
+        f,
+        "bus,utilization,ops,data_ops,duplicates,queue_high_water"
+    )?;
     for b in &report.buses {
         writeln!(
             f,
-            "{},{},{},{},{}",
-            b.id, b.utilization, b.ops, b.data_ops, b.queue_high_water
+            "{},{},{},{},{},{}",
+            b.id, b.utilization, b.ops, b.data_ops, b.duplicates, b.queue_high_water
         )?;
     }
     Ok(())
@@ -68,7 +71,8 @@ pub fn write_class_stats_csv(path: &Path, report: &RunReport) -> std::io::Result
     let mut f = std::fs::File::create(path)?;
     writeln!(
         f,
-        "class,count,mean_bus_ops,mean_latency_ns,p50_ns,p90_ns,p99_ns,latency_hist"
+        "class,count,mean_bus_ops,mean_latency_ns,p50_ns,p90_ns,p99_ns,\
+         retries,max_retries,backoff_ns,latency_hist"
     )?;
     for (name, s) in report.metrics.classes() {
         let q = |q: f64| {
@@ -84,7 +88,7 @@ pub fn write_class_stats_csv(path: &Path, report: &RunReport) -> std::io::Result
             .collect();
         writeln!(
             f,
-            "{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{}",
             name.replace(',', ";"),
             s.count,
             s.bus_ops.mean(),
@@ -92,7 +96,49 @@ pub fn write_class_stats_csv(path: &Path, report: &RunReport) -> std::io::Result
             q(0.5),
             q(0.9),
             q(0.99),
+            s.retries.get(),
+            s.max_retries,
+            s.backoff_ns.get(),
             hist.join(" ")
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes the composite fault sweep: one row per fault probability with
+/// the measured completion latency, retry/backoff cost and per-class
+/// fault counters.
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating or writing the file.
+pub fn write_fault_sweep_csv(
+    path: &Path,
+    rows: &[crate::tables::FaultSweepRow],
+) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(
+        f,
+        "probability,efficiency,mean_latency_ns,retries,max_retries,backoff_ns,\
+         lost_ops,duplicated_ops,memory_nacks,mlt_delays,blackouts,watchdog_trips,completed"
+    )?;
+    for r in rows {
+        writeln!(
+            f,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            r.probability,
+            r.efficiency,
+            r.mean_latency_ns,
+            r.retries,
+            r.max_retries,
+            r.backoff_ns,
+            r.lost_ops,
+            r.duplicated_ops,
+            r.memory_nacks,
+            r.mlt_delays,
+            r.blackouts,
+            r.watchdog_trips,
+            r.completed
         )?;
     }
     Ok(())
@@ -158,7 +204,10 @@ mod tests {
         write_bus_telemetry_csv(&bus_path, &report).unwrap();
         let text = std::fs::read_to_string(&bus_path).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines[0], "bus,utilization,ops,data_ops,queue_high_water");
+        assert_eq!(
+            lines[0],
+            "bus,utilization,ops,data_ops,duplicates,queue_high_water"
+        );
         // A 4x4 grid has 4 row buses and 4 column buses.
         assert_eq!(lines.len(), 1 + 8);
         assert!(lines[1].starts_with("row0,"));
@@ -168,7 +217,24 @@ mod tests {
         let text = std::fs::read_to_string(&class_path).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 1 + 8, "one row per transaction class");
+        assert!(lines[0].contains("retries,max_retries,backoff_ns"));
         assert!(lines.iter().any(|l| l.starts_with("READ unmodified,")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fault_sweep_csv_has_one_row_per_probability() {
+        let rows = crate::tables::fault_sweep_rows(3, &[0.0, 0.25], 15);
+        let dir = std::env::temp_dir().join("multicube_fault_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("faults.csv");
+        write_fault_sweep_csv(&path, &rows).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("probability,efficiency,mean_latency_ns"));
+        assert_eq!(lines.len(), 1 + 2);
+        assert!(lines[1].starts_with("0,"));
+        assert!(lines[2].starts_with("0.25,"));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -16,10 +16,13 @@ pub mod csv;
 pub mod simfig;
 pub mod tables;
 
-pub use csv::{write_bus_telemetry_csv, write_class_stats_csv, write_series_csv};
+pub use csv::{
+    write_bus_telemetry_csv, write_class_stats_csv, write_fault_sweep_csv, write_series_csv,
+};
 pub use simfig::{sim_figure2, sim_figure3, sim_figure4, sim_latency_modes, SweepConfig};
 pub use tables::{
-    baseline_rows, costs_table, mlt_rows, render_bus_telemetry, render_class_stats, render_series,
-    render_series_utilization, robustness_rows, scaling_rows, snarf_rows, sync_rows, BaselineRow,
-    CostRow, MltRow, RobustnessRow, SnarfRow, SyncRow,
+    baseline_rows, costs_table, fault_sweep_rows, mlt_rows, render_bus_telemetry,
+    render_class_stats, render_fault_sweep, render_resilience, render_series,
+    render_series_utilization, robustness_rows, scaling_rows, snarf_rows, sweep_plan, sync_rows,
+    BaselineRow, CostRow, FaultSweepRow, MltRow, RobustnessRow, SnarfRow, SyncRow,
 };

@@ -2,7 +2,9 @@
 //! formulas (T-6.2), synchronization traffic (E-4.1) and the single-bus
 //! comparison (E-1.1) — plus ASCII rendering helpers.
 
-use multicube::{Machine, MachineConfig, Request, RequestKind, SyntheticSpec};
+use multicube::{
+    FaultPlan, Machine, MachineConfig, Request, RequestKind, RetryPolicy, SyntheticSpec,
+};
 use multicube_baseline::SingleBusMulti;
 use multicube_mem::LineAddr;
 use multicube_mva::FigureSeries;
@@ -476,7 +478,7 @@ pub fn robustness_rows(n: u32, drops: &[f64], txns: u64) -> Vec<RobustnessRow> {
         .map(|&p| {
             let config = MachineConfig::grid(n)
                 .unwrap()
-                .with_signal_drop_probability(p);
+                .with_fault_plan(FaultPlan::default().with_signal_drop(p));
             let spec = SyntheticSpec::default().with_request_rate_per_ms(15.0);
             let mut m = Machine::new(config, 43).unwrap();
             let report = m.run_synthetic(&spec, txns);
@@ -494,6 +496,176 @@ pub fn robustness_rows(n: u32, drops: &[f64], txns: u64) -> Vec<RobustnessRow> {
             }
         })
         .collect()
+}
+
+/// One row of the composite fault sweep: every fault class scaled together
+/// from a single base probability, with bounded-exponential retry backoff
+/// enabled.
+#[derive(Debug, Clone)]
+pub struct FaultSweepRow {
+    /// The base fault probability `p` (signal drops at `p`; the other
+    /// classes at fixed fractions of it).
+    pub probability: f64,
+    /// Run efficiency.
+    pub efficiency: f64,
+    /// Mean end-to-end transaction latency (ns).
+    pub mean_latency_ns: f64,
+    /// Total retries across all transactions.
+    pub retries: u64,
+    /// Largest retry count any single transaction needed.
+    pub max_retries: u32,
+    /// Total injected backoff delay (ns).
+    pub backoff_ns: u64,
+    /// Request operations lost on a bus.
+    pub lost_ops: u64,
+    /// Spurious duplicate operations injected.
+    pub duplicated_ops: u64,
+    /// Memory-bank transient NACKs.
+    pub memory_nacks: u64,
+    /// MLT replica updates left transiently stale.
+    pub mlt_delays: u64,
+    /// Controller blackout windows opened.
+    pub blackouts: u64,
+    /// Livelock-watchdog escalations.
+    pub watchdog_trips: u64,
+    /// Transactions completed (must always equal the submitted count —
+    /// the sweep's whole point).
+    pub completed: u64,
+}
+
+/// The composite fault plan used by the sweep: signal drops at `p`, op
+/// loss at `p/2`, duplicates and bank NACKs at `p/4`, MLT delay at `p/4`,
+/// blackouts at `p/8`.
+pub fn sweep_plan(p: f64) -> FaultPlan {
+    FaultPlan::default()
+        .with_signal_drop(p)
+        .with_op_loss(p / 2.0)
+        .with_op_duplicate(p / 4.0)
+        .with_memory_nack(p / 4.0)
+        .with_mlt_delay(p / 4.0, 2_000)
+        .with_blackout(p / 8.0, 2_000)
+}
+
+/// Sweeps the composite fault probability on an `n x n` machine — the §3
+/// robustness claim measured under every fault class at once. Each run
+/// must complete every transaction and pass the coherence checker; the
+/// sweep quantifies what that resilience *costs* in latency and retries.
+pub fn fault_sweep_rows(n: u32, probs: &[f64], txns: u64) -> Vec<FaultSweepRow> {
+    probs
+        .iter()
+        .map(|&p| {
+            let config = MachineConfig::grid(n)
+                .unwrap()
+                .with_fault_plan(sweep_plan(p))
+                .with_retry_policy(RetryPolicy::default().with_backoff(100, 25_000));
+            let spec = SyntheticSpec::default().with_request_rate_per_ms(15.0);
+            let mut m = Machine::new(config, 53).unwrap();
+            let report = m.run_synthetic(&spec, txns);
+            let met = &report.metrics;
+            let (retries, max_retries, backoff_ns) =
+                met.classes()
+                    .iter()
+                    .fold((0u64, 0u32, 0u64), |(r, mx, b), (_, s)| {
+                        (
+                            r + s.retries.get(),
+                            mx.max(s.max_retries),
+                            b + s.backoff_ns.get(),
+                        )
+                    });
+            FaultSweepRow {
+                probability: p,
+                efficiency: report.efficiency,
+                mean_latency_ns: report.mean_latency_ns,
+                retries,
+                max_retries,
+                backoff_ns,
+                lost_ops: met.lost_ops.get(),
+                duplicated_ops: met.duplicated_ops.get(),
+                memory_nacks: met.memory_nacks.get(),
+                mlt_delays: met.mlt_delays.get(),
+                blackouts: met.blackouts.get(),
+                watchdog_trips: met.watchdog_trips.get(),
+                completed: report.transactions_completed,
+            }
+        })
+        .collect()
+}
+
+/// Renders the composite fault sweep as an ASCII table.
+pub fn render_fault_sweep(title: &str, rows: &[FaultSweepRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    out.push_str(&format!(
+        "{:>6} {:>10} {:>12} {:>9} {:>11} {:>12} {:>6} {:>6} {:>6} {:>7} {:>9} {:>6}\n",
+        "p",
+        "efficiency",
+        "latency ns",
+        "retries",
+        "max retries",
+        "backoff ns",
+        "lost",
+        "dup",
+        "nack",
+        "mltdel",
+        "blackout",
+        "trips"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>6.2} {:>10.4} {:>12.0} {:>9} {:>11} {:>12} {:>6} {:>6} {:>6} {:>7} {:>9} {:>6}\n",
+            r.probability,
+            r.efficiency,
+            r.mean_latency_ns,
+            r.retries,
+            r.max_retries,
+            r.backoff_ns,
+            r.lost_ops,
+            r.duplicated_ops,
+            r.memory_nacks,
+            r.mlt_delays,
+            r.blackouts,
+            r.watchdog_trips
+        ));
+    }
+    out
+}
+
+/// Renders a run's resilience telemetry: per-class retry pressure (total
+/// retries, worst-case retries, accumulated backoff) plus the machine-wide
+/// fault and watchdog counters.
+pub fn render_resilience(title: &str, report: &multicube::RunReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    out.push_str(&format!(
+        "{:<28} {:>8} {:>9} {:>11} {:>14}\n",
+        "class", "count", "retries", "max retries", "backoff ns"
+    ));
+    for (name, s) in report.metrics.classes() {
+        if s.count == 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "{:<28} {:>8} {:>9} {:>11} {:>14}\n",
+            name,
+            s.count,
+            s.retries.get(),
+            s.max_retries,
+            s.backoff_ns.get()
+        ));
+    }
+    let m = &report.metrics;
+    out.push_str(&format!(
+        "faults: lost {} dup {} nacks {} mlt-delays {} blackouts {} | \
+         signal drops {} | watchdog trips {}\n",
+        m.lost_ops.get(),
+        m.duplicated_ops.get(),
+        m.memory_nacks.get(),
+        m.mlt_delays.get(),
+        m.blackouts.get(),
+        m.dropped_signals.get(),
+        m.watchdog_trips.get()
+    ));
+    out
 }
 
 /// One row of the snarfing ablation (§3's "snarf" optimization).
@@ -558,5 +730,44 @@ mod ablation_tests {
         let rows = snarf_rows(4, 60);
         assert_eq!(rows[0].snarfs, 0);
         assert!(rows[1].snarfs > 0, "hot set must trigger snarfs");
+    }
+
+    #[test]
+    fn fault_sweep_completes_everything_and_costs_retries() {
+        let rows = fault_sweep_rows(4, &[0.0, 0.5], 40);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert_eq!(r.completed, 40 * 16, "every transaction completes");
+        }
+        assert_eq!(rows[0].retries, 0, "fault-free run needs no fault retries");
+        assert_eq!(rows[0].lost_ops, 0);
+        assert!(rows[1].retries > 0, "heavy faults must cost retries");
+        assert!(rows[1].lost_ops > 0);
+        assert!(rows[1].backoff_ns > 0, "backoff policy must engage");
+        assert!(rows[1].mean_latency_ns > rows[0].mean_latency_ns);
+    }
+
+    #[test]
+    fn fault_sweep_render_has_all_columns() {
+        let rows = fault_sweep_rows(4, &[0.25], 20);
+        let text = render_fault_sweep("faults", &rows);
+        assert!(text.contains("== faults =="));
+        assert!(text.contains("efficiency"));
+        assert!(text.contains("backoff ns"));
+        assert!(text.contains("0.25"));
+    }
+
+    #[test]
+    fn resilience_render_includes_fault_counters() {
+        let config = MachineConfig::grid(4)
+            .unwrap()
+            .with_fault_plan(sweep_plan(0.4))
+            .with_retry_policy(RetryPolicy::default().with_backoff(100, 10_000));
+        let mut m = Machine::new(config, 59).unwrap();
+        let report = m.run_synthetic(&SyntheticSpec::default(), 30);
+        let text = render_resilience("resilience", &report);
+        assert!(text.contains("== resilience =="));
+        assert!(text.contains("retries"));
+        assert!(text.contains("watchdog trips"));
     }
 }

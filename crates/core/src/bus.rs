@@ -41,6 +41,7 @@ pub struct Bus {
     busy: BusyTracker,
     ops: Counter,
     data_ops: Counter,
+    duplicates: Counter,
     queued_high_water: usize,
 }
 
@@ -54,6 +55,7 @@ impl Bus {
             busy: BusyTracker::new(),
             ops: Counter::new(),
             data_ops: Counter::new(),
+            duplicates: Counter::new(),
             queued_high_water: 0,
         }
     }
@@ -80,6 +82,19 @@ impl Bus {
             self.queued_high_water = self.queued_high_water.max(self.queue.len());
             None
         }
+    }
+
+    /// Enqueues an injected duplicate of an operation, counting it in this
+    /// bus's duplicate telemetry. Scheduling semantics are identical to
+    /// [`Bus::enqueue`] — the copy occupies the bus like any real op.
+    pub fn enqueue_duplicate(
+        &mut self,
+        op: BusOp,
+        duration_ns: u64,
+        now: SimTime,
+    ) -> Option<SimTime> {
+        self.duplicates.incr();
+        self.enqueue(op, duration_ns, now)
     }
 
     fn start(&mut self, op: BusOp, done: SimTime, now: SimTime) {
@@ -144,6 +159,11 @@ impl Bus {
     /// Data-streaming operations ever started.
     pub fn data_op_count(&self) -> u64 {
         self.data_ops.get()
+    }
+
+    /// Injected duplicate operations ever enqueued.
+    pub fn duplicate_count(&self) -> u64 {
+        self.duplicates.get()
     }
 
     /// Highest queue depth observed.
@@ -227,6 +247,24 @@ mod tests {
         assert_eq!(bus.op_count(), 2);
         assert_eq!(bus.data_op_count(), 1);
         assert_eq!(bus.queue_high_water(), 1);
+    }
+
+    #[test]
+    fn duplicates_queue_like_real_ops_and_are_counted() {
+        let mut bus = Bus::new(BusId::row(0));
+        let done = bus
+            .enqueue(op(OpKind::ReadRowRequest, 1), 50, SimTime::ZERO)
+            .unwrap();
+        // The duplicate lands right behind the original.
+        assert!(bus
+            .enqueue_duplicate(op(OpKind::ReadRowRequest, 1), 50, SimTime::ZERO)
+            .is_none());
+        assert_eq!(bus.duplicate_count(), 1);
+        let (_, next) = bus.complete(done);
+        assert_eq!(next, Some(SimTime::from_nanos(100)));
+        bus.complete(next.unwrap());
+        // Both copies occupied the bus and count as started ops.
+        assert_eq!(bus.op_count(), 2);
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!    exactly the lines held modified within that column.
 //! 6. **Registry consistency** — the machine's owner registry matches the
 //!    caches (internal sanity for the workload generator).
+//! 7. **Escalation hygiene** — no watchdog escalation survives quiescence;
+//!    an escalated transaction that never finished means the fault-free
+//!    retry failed to make progress.
 
 use core::fmt;
 use std::collections::{HashMap, HashSet};
@@ -82,6 +85,13 @@ pub enum CoherenceViolation {
         /// Description of the mismatch.
         detail: String,
     },
+    /// A watchdog escalation outlived its transaction: at quiescence every
+    /// escalated transaction must have completed (and been cleared), so a
+    /// leftover entry means the escalation path failed to make progress.
+    EscalationLeak {
+        /// The still-escalated transaction.
+        txn: crate::proto::TxnId,
+    },
 }
 
 impl fmt::Display for CoherenceViolation {
@@ -124,6 +134,9 @@ impl fmt::Display for CoherenceViolation {
             }
             CoherenceViolation::RegistryMismatch { line, detail } => {
                 write!(f, "line {line:?} registry mismatch: {detail}")
+            }
+            CoherenceViolation::EscalationLeak { txn } => {
+                write!(f, "{txn} still escalated at quiescence")
             }
         }
     }
@@ -284,6 +297,11 @@ pub fn check(m: &Machine) -> Result<(), CoherenceViolation> {
             line,
             detail: format!("registry claims {node} but no cache holds it modified"),
         });
+    }
+
+    // 8. No leaked watchdog escalations.
+    if let Some(txn) = m.escalated_txn() {
+        return Err(CoherenceViolation::EscalationLeak { txn });
     }
 
     Ok(())

@@ -5,6 +5,8 @@ use core::fmt;
 use multicube_mem::{CacheGeometry, LineGeometry};
 use multicube_topology::{Grid, TopologyError};
 
+use crate::fault::{FaultConfigError, FaultPlan, RetryPolicy, Watchdog};
+
 /// Bus and memory timing parameters, all in nanoseconds.
 ///
 /// Defaults are the paper's Figure 2 parameters: "The data is transferred
@@ -75,8 +77,9 @@ pub enum MachineConfigError {
     BadBlockSize(u32),
     /// Pieces mode needs a nonzero piece size.
     BadPieceSize,
-    /// The modified-signal drop probability must be in `[0, 1)`.
-    BadDropProbability(f64),
+    /// A fault-plan or retry-policy knob was invalid (this subsumes the old
+    /// `BadDropProbability`: the drop knob now lives on [`FaultPlan`]).
+    Fault(FaultConfigError),
 }
 
 impl fmt::Display for MachineConfigError {
@@ -87,12 +90,7 @@ impl fmt::Display for MachineConfigError {
                 write!(f, "block size must be a nonzero power of two, got {b}")
             }
             MachineConfigError::BadPieceSize => write!(f, "piece size must be nonzero"),
-            MachineConfigError::BadDropProbability(p) => {
-                write!(
-                    f,
-                    "modified-signal drop probability must be in [0,1), got {p}"
-                )
-            }
+            MachineConfigError::Fault(e) => write!(f, "invalid fault configuration: {e}"),
         }
     }
 }
@@ -102,6 +100,12 @@ impl std::error::Error for MachineConfigError {}
 impl From<TopologyError> for MachineConfigError {
     fn from(e: TopologyError) -> Self {
         MachineConfigError::Topology(e)
+    }
+}
+
+impl From<FaultConfigError> for MachineConfigError {
+    fn from(e: FaultConfigError) -> Self {
+        MachineConfigError::Fault(e)
     }
 }
 
@@ -137,9 +141,14 @@ pub struct MachineConfig {
     mlt_capacity: usize,
     latency_mode: LatencyMode,
     snarfing: bool,
-    /// Probability that the controller responsible for supplying the
-    /// modified signal silently drops a row request (§3 robustness test).
-    signal_drop_probability: f64,
+    /// Which adversarial faults to inject (§3 robustness testing); inert by
+    /// default.
+    faults: FaultPlan,
+    /// Backoff applied to bounce-path retries; immediate by default.
+    retry: RetryPolicy,
+    /// Livelock/starvation watchdog; defaults to escalating past 256
+    /// retries.
+    watchdog: Watchdog,
     /// Idealized sharing filter for the invalidation broadcast (ablation).
     broadcast_filter: bool,
     /// When true, the coherence checker runs during the simulation.
@@ -171,7 +180,9 @@ impl MachineConfig {
             mlt_capacity: 4096,
             latency_mode: LatencyMode::StoreAndForward,
             snarfing: false,
-            signal_drop_probability: 0.0,
+            faults: FaultPlan::default(),
+            retry: RetryPolicy::default(),
+            watchdog: Watchdog::default(),
             broadcast_filter: false,
             checking: true,
         })
@@ -247,12 +258,38 @@ impl MachineConfig {
         self
     }
 
+    /// Installs a fault-injection plan (§3 robustness testing). The default
+    /// plan injects nothing.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Sets the retry/backoff policy for bounce-path retransmissions.
+    #[must_use]
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Configures the livelock/starvation watchdog.
+    #[must_use]
+    pub fn with_watchdog(mut self, watchdog: Watchdog) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
     /// Sets the probability that a controller drops its modified-signal
     /// responsibility (failure injection exercising the §3 robustness
     /// argument). Must be in `[0, 1)`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `with_fault_plan(FaultPlan::default().with_signal_drop(p))`"
+    )]
     #[must_use]
     pub fn with_signal_drop_probability(mut self, p: f64) -> Self {
-        self.signal_drop_probability = p;
+        self.faults = self.faults.with_signal_drop(p);
         self
     }
 
@@ -277,11 +314,8 @@ impl MachineConfig {
                 return Err(MachineConfigError::BadPieceSize);
             }
         }
-        if !(0.0..1.0).contains(&self.signal_drop_probability) {
-            return Err(MachineConfigError::BadDropProbability(
-                self.signal_drop_probability,
-            ));
-        }
+        self.faults.validate()?;
+        self.retry.validate()?;
         Ok(geom)
     }
 
@@ -340,9 +374,25 @@ impl MachineConfig {
         self.snarfing
     }
 
+    /// The fault-injection plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// The retry/backoff policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// The livelock watchdog configuration.
+    pub fn watchdog(&self) -> Watchdog {
+        self.watchdog
+    }
+
     /// Modified-signal drop probability.
+    #[deprecated(since = "0.2.0", note = "use `fault_plan().signal_drop()`")]
     pub fn signal_drop_probability(&self) -> f64 {
-        self.signal_drop_probability
+        self.faults.signal_drop()
     }
 
     /// Whether the idealized broadcast sharing filter is enabled.
@@ -387,13 +437,28 @@ mod tests {
             .with_block_words(8)
             .with_mlt_capacity(16)
             .with_snarfing(true)
-            .with_signal_drop_probability(0.1)
+            .with_fault_plan(FaultPlan::default().with_signal_drop(0.1))
+            .with_retry_policy(RetryPolicy::default().with_backoff(100, 5_000))
+            .with_watchdog(Watchdog::default().with_retry_budget(8))
             .with_checking(false);
         assert_eq!(c.block_words(), 8);
         assert_eq!(c.mlt_capacity(), 16);
         assert!(c.snarfing());
-        assert_eq!(c.signal_drop_probability(), 0.1);
+        assert_eq!(c.fault_plan().signal_drop(), 0.1);
+        assert_eq!(c.retry_policy().backoff_base_ns(), 100);
+        assert_eq!(c.watchdog().retry_budget(), 8);
         assert!(!c.checking());
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_drop_probability_shim_still_works() {
+        let c = MachineConfig::grid(4)
+            .unwrap()
+            .with_signal_drop_probability(0.25);
+        assert_eq!(c.signal_drop_probability(), 0.25);
+        assert_eq!(c.fault_plan().signal_drop(), 0.25);
         assert!(c.validate().is_ok());
     }
 
@@ -412,13 +477,31 @@ mod tests {
     }
 
     #[test]
-    fn validation_rejects_bad_drop_probability() {
+    fn validation_rejects_bad_fault_plan() {
         let c = MachineConfig::grid(4)
             .unwrap()
-            .with_signal_drop_probability(1.0);
+            .with_fault_plan(FaultPlan::default().with_signal_drop(1.0));
         assert!(matches!(
             c.validate(),
-            Err(MachineConfigError::BadDropProbability(_))
+            Err(MachineConfigError::Fault(
+                FaultConfigError::BadProbability {
+                    knob: "signal_drop",
+                    ..
+                }
+            ))
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_bad_backoff() {
+        let c = MachineConfig::grid(4)
+            .unwrap()
+            .with_retry_policy(RetryPolicy::default().with_backoff(500, 100));
+        assert!(matches!(
+            c.validate(),
+            Err(MachineConfigError::Fault(
+                FaultConfigError::BadBackoff { .. }
+            ))
         ));
     }
 

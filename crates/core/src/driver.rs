@@ -53,6 +53,21 @@ impl Request {
     pub fn write(line: LineAddr) -> Self {
         Request::new(RequestKind::Write, line)
     }
+
+    /// Shorthand for an allocate request.
+    pub fn allocate(line: LineAddr) -> Self {
+        Request::new(RequestKind::Allocate, line)
+    }
+
+    /// Shorthand for a writeback request.
+    pub fn writeback(line: LineAddr) -> Self {
+        Request::new(RequestKind::Writeback, line)
+    }
+
+    /// Shorthand for a test-and-set request.
+    pub fn test_and_set(line: LineAddr) -> Self {
+        Request::new(RequestKind::TestAndSet, line)
+    }
 }
 
 /// The statistical workload of the paper's evaluation (§5).
@@ -175,6 +190,9 @@ mod tests {
         let line = LineAddr::new(3);
         assert_eq!(Request::read(line).kind, RequestKind::Read);
         assert_eq!(Request::write(line).kind, RequestKind::Write);
+        assert_eq!(Request::allocate(line).kind, RequestKind::Allocate);
+        assert_eq!(Request::writeback(line).kind, RequestKind::Writeback);
+        assert_eq!(Request::test_and_set(line).kind, RequestKind::TestAndSet);
         assert_eq!(Request::new(RequestKind::Writeback, line).line, line);
     }
 

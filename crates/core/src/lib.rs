@@ -39,6 +39,8 @@
 //! * [`driver`] — closed-loop synthetic workload driving ([`SyntheticSpec`]).
 //! * [`metrics`] — counters, latencies, utilizations and the run report.
 //! * [`check`] — the coherence-invariant checker.
+//! * [`fault`] — fault injection ([`FaultPlan`]), retry backoff
+//!   ([`RetryPolicy`]) and the livelock watchdog ([`Watchdog`]).
 //! * [`trace`] — structured bus-operation tracing ([`TraceSink`] chosen at
 //!   [`Machine::new`]; `MULTICUBE_TRACE=1` selects the stderr sink).
 //! * [`inspect`] — human-readable state dumps (pair with the
@@ -48,6 +50,7 @@ pub mod bus;
 pub mod check;
 pub mod config;
 pub mod driver;
+pub mod fault;
 pub mod inspect;
 pub mod machine;
 pub mod metrics;
@@ -57,8 +60,9 @@ pub mod trace;
 
 pub use config::{LatencyMode, MachineConfig, MachineConfigError, Timing};
 pub use driver::{Request, RequestKind, SyntheticSpec};
+pub use fault::{FaultConfigError, FaultPlan, RetryPolicy, Watchdog, WatchdogAction};
 pub use machine::{Completion, Machine, SubmitError};
 pub use metrics::{BusReport, MachineMetrics, RunReport, TxnStats};
 pub use node::LineMode;
-pub use proto::{BusOp, OpClass, OpKind, TxnId};
+pub use proto::{BusOp, OpClass, OpFault, OpKind, TxnId};
 pub use trace::{TraceEvent, TraceFormat, TracePoint, TraceSink};

@@ -24,9 +24,10 @@ use crate::bus::Bus;
 use crate::check::{self, CoherenceViolation};
 use crate::config::{LatencyMode, MachineConfig, MachineConfigError};
 use crate::driver::{Request, RequestKind, SyntheticSpec};
+use crate::fault::{FaultInjector, WatchdogAction};
 use crate::metrics::{MachineMetrics, RunReport, Served};
 use crate::node::{Controller, LineMode, Outstanding};
-use crate::proto::{BusOp, OpClass, OpKind, Piece, TxnId};
+use crate::proto::{BusOp, OpClass, OpFault, OpKind, Piece, TxnId};
 use crate::trace::{TraceEvent, TracePoint, TraceSink};
 
 pub(crate) use synthetic::SyntheticState;
@@ -102,6 +103,8 @@ pub(crate) struct TxnInfo {
     pub row_ops: u32,
     pub col_ops: u32,
     pub retries: u32,
+    /// Total backoff delay inserted before this transaction's retries (ns).
+    pub backoff_ns: u64,
     pub served: Served,
     /// The originator's cache write has been applied (early-unblock guard).
     pub installed: bool,
@@ -178,6 +181,8 @@ pub struct Machine {
     pub(crate) synthetic: Option<SyntheticState>,
     /// Structured trace destination, chosen once at construction.
     trace: TraceSink,
+    /// Fault-injection decision engine (inert under the default plan).
+    pub(crate) faults: FaultInjector,
 }
 
 impl Machine {
@@ -209,6 +214,13 @@ impl Machine {
             })
             .collect();
         let memories = (0..n).map(|_| MemoryBank::new()).collect();
+        let faults = FaultInjector::new(
+            *config.fault_plan(),
+            config.retry_policy(),
+            config.watchdog(),
+            (n * n) as usize,
+            seed,
+        );
         Ok(Machine {
             geom,
             n,
@@ -231,6 +243,7 @@ impl Machine {
             completions: VecDeque::new(),
             synthetic: None,
             trace: TraceSink::from_env(),
+            faults,
             config,
         })
     }
@@ -554,6 +567,36 @@ impl Machine {
     fn dispatch(&mut self, slot: usize, op: BusOp) {
         use OpKind::*;
         self.trace_op(TracePoint::OpComplete, slot, &op);
+        // Consume injected faults: a faulted copy occupied its bus like any
+        // real operation, but its completion must not run the snoop actions.
+        match op.fault {
+            Some(OpFault::Lost) => {
+                // Nobody heard the request; the originator retries (§3).
+                self.trace_op(TracePoint::FaultLost, slot, &op);
+                self.reissue_row_request(&op);
+                return;
+            }
+            Some(OpFault::Duplicate) => {
+                // The original is in flight too; re-acting on the copy could
+                // purge live data, so the stutter is consumed silently.
+                self.trace_op(TracePoint::FaultDuplicate, slot, &op);
+                return;
+            }
+            None => {}
+        }
+        // Each dispatched operation is one chance for a controller blackout
+        // window to open somewhere in the machine.
+        if let Some(node) = self.faults.roll_blackout(self.now()) {
+            self.metrics.blackouts.incr();
+            let blacked = self.controllers[node].node();
+            self.trace_point(
+                TracePoint::FaultBlackout,
+                Some(slot),
+                op.line,
+                Some(blacked),
+                None,
+            );
+        }
         match op.kind {
             ReadRowRequest => self.on_read_row_request(slot, op),
             ReadColRequestRemove => self.on_read_col_request_remove(slot, op),
@@ -873,6 +916,12 @@ impl Machine {
                 }
             }
         }
+        // Fault injection: request ops can be lost in transit. The stamped
+        // copy still occupies its bus; the loss is consumed at dispatch.
+        if op.fault.is_none() && op.kind.is_request() && self.faults.lose_op(op.txn) {
+            op.fault = Some(OpFault::Lost);
+            self.metrics.lost_ops.incr();
+        }
         self.note_op(&op);
         if delay_ns == 0 {
             self.enqueue_now(slot, op);
@@ -896,9 +945,21 @@ impl Machine {
         }
         let now = self.now();
         let dur = self.op_duration(&op);
+        let duplicate =
+            op.fault.is_none() && op.kind.is_request() && self.faults.duplicate_op(op.txn);
         if let Some(done) = self.buses[slot].enqueue(op, dur, now) {
             self.events.schedule(done, Event::BusComplete { slot });
             self.op_started(slot, &op, now);
+        }
+        if duplicate {
+            // A spurious copy rides the bus right behind the original.
+            self.metrics.duplicated_ops.incr();
+            let mut dup = op;
+            dup.fault = Some(OpFault::Duplicate);
+            if let Some(done) = self.buses[slot].enqueue_duplicate(dup, dur, now) {
+                self.events.schedule(done, Event::BusComplete { slot });
+                self.op_started(slot, &dup, now);
+            }
         }
     }
 
@@ -995,6 +1056,44 @@ impl Machine {
                 out.retries += 1;
             }
         }
+        self.watchdog_check(txn);
+    }
+
+    /// Livelock watchdog, consulted after every recorded retry: a
+    /// transaction over its retry or age budget either aborts the run
+    /// (fail-fast) or is *escalated* — the injector stops faulting it, so
+    /// its next retry is guaranteed to make the ordinary §3 progress.
+    fn watchdog_check(&mut self, txn: TxnId) {
+        let Some(info) = self.txns.get(&txn) else {
+            return;
+        };
+        if info.done || self.faults.is_escalated(txn) {
+            return;
+        }
+        let age_ns = self.now().saturating_since(info.start).as_nanos();
+        let wd = *self.faults.watchdog();
+        if !wd.tripped(info.retries, age_ns) {
+            return;
+        }
+        let (line, node, retries) = (info.line, info.node, info.retries);
+        match wd.action() {
+            WatchdogAction::FailFast => panic!(
+                "watchdog: {txn} at {node} on {line:?} exceeded its budget \
+                 ({retries} retries, {age_ns} ns old)"
+            ),
+            WatchdogAction::Escalate => {
+                self.metrics.watchdog_trips.incr();
+                self.trace_point(TracePoint::WatchdogTrip, None, line, Some(node), Some(txn));
+                self.faults.escalate(txn);
+            }
+        }
+    }
+
+    /// A transaction still escalated by the watchdog, if any. Escalations
+    /// are cleared as transactions finish, so at quiescence this must be
+    /// `None` — the checker reports leaks.
+    pub(crate) fn escalated_txn(&self) -> Option<TxnId> {
+        self.faults.first_escalated()
     }
 
     /// Records which agent served the transaction's data.
@@ -1058,6 +1157,7 @@ impl Machine {
                 row_ops: 0,
                 col_ops: 0,
                 retries: 0,
+                backoff_ns: 0,
                 served: Served::Local,
                 installed: false,
                 poisoned: false,
@@ -1161,7 +1261,9 @@ impl Machine {
             info.row_ops,
             info.col_ops,
             info.retries,
+            info.backoff_ns,
         );
+        self.faults.finish(txn);
         self.completions.push_back(Completion {
             node,
             txn,

@@ -16,7 +16,7 @@ impl Machine {
     /// copies anywhere must be purged).
     pub(crate) fn on_readmod_row_request(&mut self, slot: usize, op: BusOp) {
         let row = self.slot_row(slot);
-        if let Some(cm) = self.poll_modified_signal(row, &op.line) {
+        if let Some(cm) = self.poll_modified_signal(row, &op.line, op.txn) {
             let fwd = BusOp::new(
                 OpKind::ReadModColRequestRemove,
                 op.line,
@@ -44,6 +44,12 @@ impl Machine {
     /// and ships ownership toward the originator.
     pub(crate) fn on_readmod_col_request_remove(&mut self, slot: usize, op: BusOp) {
         let col = self.slot_col(slot);
+        // Same pre-removal gate as the READ flavour: a blacked-out holder
+        // cannot answer, so bounce before the MLT entry comes out.
+        if self.holder_blacked_out(col, &op) {
+            self.reissue_row_request(&op);
+            return;
+        }
         if !self.mlt_remove_all(col, &op.line) {
             self.reissue_row_request(&op);
             return;
@@ -91,7 +97,14 @@ impl Machine {
         let col = self.slot_col(slot);
         debug_assert_eq!(col, self.home_column(op.line));
         let latency = self.config.timing().memory_latency_ns;
-        match self.memories[col as usize].read_valid(&op.line) {
+        // An injected transient NACK bounces off the same path as an
+        // invalid memory copy.
+        let answer = if self.nack_memory_access(slot, &op) {
+            None
+        } else {
+            self.memories[col as usize].read_valid(&op.line)
+        };
+        match answer {
             Some(data) => {
                 // "* READMOD (COLUMN, REPLY, PURGE); * mark line invalid".
                 self.memories[col as usize].mark_invalid(&op.line);

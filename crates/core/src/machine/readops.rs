@@ -15,31 +15,77 @@ impl Machine {
     // ------------------------------------------------------------------
 
     /// Polls the row for the wired-OR *modified signal*: at most one node's
-    /// column MLT contains the line; returns that column. Applies the
-    /// failure-injection drop (§3: a controller "can, on occasion, simply
-    /// discard such requests without breaking the protocol").
-    pub(crate) fn poll_modified_signal(&mut self, row: u32, line: &LineAddr) -> Option<u32> {
+    /// column MLT contains the line; returns that column. This is the one
+    /// place the machine *observes* MLT replicas, so it is also where the
+    /// injected imperfections surface: blacked-out controllers stay silent,
+    /// replicas with a pending delayed update answer from their stale view,
+    /// and the §3 drop ("a controller can, on occasion, simply discard such
+    /// requests without breaking the protocol") loses the whole signal.
+    pub(crate) fn poll_modified_signal(
+        &mut self,
+        row: u32,
+        line: &LineAddr,
+        txn: crate::proto::TxnId,
+    ) -> Option<u32> {
+        let now = self.now();
         let mut found: Option<u32> = None;
-        for idx in self.row_nodes(row) {
-            if self.controllers[idx].mlt_contains(line) {
+        let perturbed = self.faults.plan().is_active();
+        for idx in self.row_nodes(row).collect::<Vec<_>>() {
+            if self.faults.in_blackout(idx, txn, now) {
+                continue;
+            }
+            let present = match self.faults.stale_presence(txn, idx, line, now) {
+                Some(stale) => stale,
+                None => self.controllers[idx].mlt_contains(line),
+            };
+            if present {
                 debug_assert!(
-                    found.is_none(),
+                    found.is_none() || perturbed,
                     "two columns claim {line:?} modified — MLT replicas diverged"
                 );
-                found = Some(self.controllers[idx].col());
-                if !cfg!(debug_assertions) {
+                if found.is_none() {
+                    found = Some(self.controllers[idx].col());
+                }
+                if !cfg!(debug_assertions) && !perturbed {
                     break;
                 }
             }
         }
-        let drop_p = self.config.signal_drop_probability();
-        if found.is_some() && drop_p > 0.0 && self.rng.chance(drop_p) {
+        if found.is_some() && self.faults.drop_signal(txn) {
             self.metrics.dropped_signals.incr();
             let slot = self.row_slot(row);
             self.trace_point(TracePoint::SignalDrop, Some(slot), *line, None, None);
             return None;
         }
         found
+    }
+
+    /// Whether the line's current holder sits in column `col` and is inside
+    /// an injected blackout window: a silent holder cannot answer a REMOVE,
+    /// so the request must bounce *before* the MLT entry is removed.
+    pub(crate) fn holder_blacked_out(&mut self, col: u32, op: &BusOp) -> bool {
+        let Some(owner) = self.registry_owner(op.line) else {
+            return false;
+        };
+        let idx = owner.as_usize();
+        self.controllers[idx].col() == col && self.faults.in_blackout(idx, op.txn, self.now())
+    }
+
+    /// Rolls the memory-bank transient NACK for one access; counted and
+    /// traced here so all three `*_col_request_memory` handlers share it.
+    pub(crate) fn nack_memory_access(&mut self, slot: usize, op: &BusOp) -> bool {
+        if !self.faults.nack_memory(op.txn) {
+            return false;
+        }
+        self.metrics.memory_nacks.incr();
+        self.trace_point(
+            TracePoint::FaultNack,
+            Some(slot),
+            op.line,
+            Some(op.originator),
+            Some(op.txn),
+        );
+        true
     }
 
     /// Removes the line from every MLT replica of a column; returns whether
@@ -57,8 +103,30 @@ impl Machine {
         if removed {
             let slot = self.col_slot(col);
             self.trace_point(TracePoint::MltRemove, Some(slot), *line, None, None);
+            self.maybe_delay_replica(col, *line, true);
         }
         removed
+    }
+
+    /// Rolls the MLT-delay fault after a successful replica update: one
+    /// randomly chosen replica in the column keeps serving its *pre-update*
+    /// view of the line (`stale_present`) to modified-signal polls until
+    /// the delay window closes. The authoritative replicas stay lockstep —
+    /// only the observation is stale.
+    fn maybe_delay_replica(&mut self, col: u32, line: LineAddr, stale_present: bool) {
+        if !self.faults.roll_mlt_delay() {
+            return;
+        }
+        let row = self.faults.pick(self.n as u64) as u32;
+        let idx = (row * self.n + col) as usize;
+        let (_, window_ns) = self.faults.plan().mlt_delay();
+        let until = self.now() + window_ns;
+        self.faults
+            .record_stale_view(idx, line, stale_present, until);
+        self.metrics.mlt_delays.incr();
+        let slot = self.col_slot(col);
+        let node = self.controllers[idx].node();
+        self.trace_point(TracePoint::MltDelay, Some(slot), line, Some(node), None);
     }
 
     /// Inserts the line into every MLT replica of a column, handling
@@ -80,6 +148,7 @@ impl Machine {
             Some(op.originator),
             Some(op.txn),
         );
+        self.maybe_delay_replica(col, op.line, false);
         let Some(victim) = overflow else { return };
         self.metrics.mlt_overflows.incr();
         let holder = self
@@ -117,8 +186,14 @@ impl Machine {
     /// where it is treated exactly as if it were a new request (but
     /// destined for the original requester)").
     pub(crate) fn reissue_row_request(&mut self, op: &BusOp) {
+        // A lost-op reissue can race the transaction's own completion (a
+        // duplicate or late path may have finished it): never retry a
+        // transaction that is done or unknown.
+        if self.txns.get(&op.txn).map(|i| i.done).unwrap_or(true) {
+            return;
+        }
         self.note_retry(op.txn);
-        let Some(kind) = self.txns.get(&op.txn).map(|i| i.kind) else {
+        let Some((kind, retries)) = self.txns.get(&op.txn).map(|i| (i.kind, i.retries)) else {
             return;
         };
         use crate::driver::RequestKind::*;
@@ -128,10 +203,18 @@ impl Machine {
             TestAndSet => OpKind::TasRowRequest,
             Writeback => return,
         };
+        // Bounded exponential backoff: spaced retries keep a contended or
+        // faulted line from saturating the row bus with bounces.
+        let delay = self.faults.retry_delay_ns(retries);
+        if delay > 0 {
+            if let Some(info) = self.txns.get_mut(&op.txn) {
+                info.backoff_ns += delay;
+            }
+        }
         let row = self.origin_row(op);
         let retry = BusOp::new(op_kind, op.line, op.originator, op.txn).with_allocate(op.allocate);
         let slot = self.row_slot(row);
-        self.emit(slot, retry, 0);
+        self.emit(slot, retry, delay);
     }
 
     /// Offers a passing data operation to the snoopers on a bus for
@@ -167,10 +250,15 @@ impl Machine {
         if data != self.committed_version(op.line) {
             return;
         }
+        let now = self.now();
         let nodes: Vec<usize> = self.row_nodes(self.slot_row(slot)).collect();
         for idx in nodes {
             let node = self.controllers[idx].node();
             if node == op.originator {
+                continue;
+            }
+            // A blacked-out controller is not watching the bus: no snarf.
+            if self.faults.in_blackout(idx, op.txn, now) {
                 continue;
             }
             if self.controllers[idx].recently_held(&op.line)
@@ -192,7 +280,7 @@ impl Machine {
     /// which may answer from its own cache.
     pub(crate) fn on_read_row_request(&mut self, slot: usize, op: BusOp) {
         let row = self.slot_row(slot);
-        if let Some(cm) = self.poll_modified_signal(row, &op.line) {
+        if let Some(cm) = self.poll_modified_signal(row, &op.line, op.txn) {
             let fwd = BusOp::new(OpKind::ReadColRequestRemove, op.line, op.originator, op.txn);
             let slot = self.col_slot(cm);
             self.emit(slot, fwd, 0);
@@ -200,7 +288,9 @@ impl Machine {
         }
         let home = self.home_column(op.line);
         let home_idx = self.node_at(row, home).as_usize();
-        if self.controllers[home_idx].mode_of(&op.line) == Some(LineMode::Shared) {
+        if self.controllers[home_idx].mode_of(&op.line) == Some(LineMode::Shared)
+            && !self.faults.in_blackout(home_idx, op.txn, self.now())
+        {
             // "if (line is shared) then READ (ROW, REPLY)"
             let data = self.controllers[home_idx]
                 .data_of(&op.line)
@@ -224,6 +314,13 @@ impl Machine {
     /// holder supplies the data and downgrades to shared.
     pub(crate) fn on_read_col_request_remove(&mut self, slot: usize, op: BusOp) {
         let col = self.slot_col(slot);
+        // A blacked-out holder cannot volunteer its data. The gate sits
+        // *before* the table removal: removing the MLT entry while the
+        // holder stays silent would desynchronise table and caches.
+        if self.holder_blacked_out(col, &op) {
+            self.reissue_row_request(&op);
+            return;
+        }
         if !self.mlt_remove_all(col, &op.line) {
             // "if (remove failed) then if (row match) then READ (ROW, REQUEST)"
             self.reissue_row_request(&op);
@@ -275,7 +372,15 @@ impl Machine {
         let col = self.slot_col(slot);
         debug_assert_eq!(col, self.home_column(op.line));
         let latency = self.config.timing().memory_latency_ns;
-        match self.memories[col as usize].read_valid(&op.line) {
+        // An injected transient NACK: the bank refuses this access. Reuse
+        // the valid-bit bounce — the request re-enters the column as a
+        // REMOVE exactly as if memory's copy were stale.
+        let answer = if self.nack_memory_access(slot, &op) {
+            None
+        } else {
+            self.memories[col as usize].read_valid(&op.line)
+        };
+        match answer {
             Some(data) => {
                 self.note_served(op.txn, Served::Memory);
                 let reply = BusOp::new(OpKind::ReadColReplyNoPurge, op.line, op.originator, op.txn)

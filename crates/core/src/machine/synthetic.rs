@@ -210,6 +210,7 @@ impl Machine {
                 utilization: u,
                 ops: bus.op_count(),
                 data_ops: bus.data_op_count(),
+                duplicates: bus.duplicate_count(),
                 queue_high_water: bus.queue_high_water(),
             });
         }

@@ -22,7 +22,7 @@ impl Machine {
     /// `TAS (ROW, REQUEST)`: routed exactly like a READ-MOD row request.
     pub(crate) fn on_tas_row_request(&mut self, slot: usize, op: BusOp) {
         let row = self.slot_row(slot);
-        if let Some(cm) = self.poll_modified_signal(row, &op.line) {
+        if let Some(cm) = self.poll_modified_signal(row, &op.line, op.txn) {
             let fwd = BusOp::new(OpKind::TasColRequest, op.line, op.originator, op.txn);
             let slot = self.col_slot(cm);
             self.emit(slot, fwd, 0);
@@ -47,6 +47,12 @@ impl Machine {
             self.reissue_row_request(&op);
             return;
         };
+        // A blacked-out holder cannot execute the remote test-and-set;
+        // bounce before any state (sync word, MLT) changes.
+        if self.faults.in_blackout(d_idx, op.txn, self.now()) {
+            self.reissue_row_request(&op);
+            return;
+        }
         let snoop = self.config.timing().snoop_latency_ns;
         self.note_served(op.txn, Served::RemoteModified);
         let word = self.sync_word(op.line);
@@ -100,7 +106,14 @@ impl Machine {
         let col = self.slot_col(slot);
         debug_assert_eq!(col, self.home_column(op.line));
         let latency = self.config.timing().memory_latency_ns;
-        match self.memories[col as usize].read_valid(&op.line) {
+        // An injected transient NACK bounces off the same path as an
+        // invalid memory copy.
+        let answer = if self.nack_memory_access(slot, &op) {
+            None
+        } else {
+            self.memories[col as usize].read_valid(&op.line)
+        };
+        match answer {
             Some(data) => {
                 self.note_served(op.txn, Served::Memory);
                 let word = self.sync_word(op.line);

@@ -35,6 +35,10 @@ pub struct TxnStats {
     pub col_ops: OnlineStats,
     /// Row-request retransmissions (lost races, dropped signals, bounces).
     pub retries: Counter,
+    /// Most retries any single transaction of this class needed.
+    pub max_retries: u32,
+    /// Total backoff delay inserted before retransmissions (ns).
+    pub backoff_ns: Counter,
     /// Latency histogram (power-of-two buckets, ns).
     pub latency_hist: Histogram,
 }
@@ -48,6 +52,7 @@ impl TxnStats {
         row_ops: u32,
         col_ops: u32,
         retries: u32,
+        backoff_ns: u64,
     ) {
         self.count += 1;
         self.latency_ns.record(latency_ns as f64);
@@ -56,6 +61,8 @@ impl TxnStats {
         self.row_ops.record(row_ops as f64);
         self.col_ops.record(col_ops as f64);
         self.retries.add(retries as u64);
+        self.max_retries = self.max_retries.max(retries);
+        self.backoff_ns.add(backoff_ns);
     }
 }
 
@@ -92,6 +99,18 @@ pub struct MachineMetrics {
     pub victim_writebacks: Counter,
     /// Word accesses satisfied by the processor (L1) cache.
     pub l1_hits: Counter,
+    /// Request ops lost on a bus by failure injection.
+    pub lost_ops: Counter,
+    /// Spurious duplicate request ops injected.
+    pub duplicated_ops: Counter,
+    /// Memory requests transiently NACKed by failure injection.
+    pub memory_nacks: Counter,
+    /// MLT membership changes that left a replica transiently stale.
+    pub mlt_delays: Counter,
+    /// Controller blackout windows opened by failure injection.
+    pub blackouts: Counter,
+    /// Livelock-watchdog trips (transactions escalated to fault-free retry).
+    pub watchdog_trips: Counter,
 }
 
 impl MachineMetrics {
@@ -174,6 +193,8 @@ pub struct BusReport {
     pub ops: u64,
     /// Data-streaming operations started.
     pub data_ops: u64,
+    /// Injected duplicate operations that occupied this bus.
+    pub duplicates: u64,
     /// Highest queue depth observed behind the in-flight operation.
     pub queue_high_water: usize,
 }
@@ -267,31 +288,33 @@ mod tests {
     #[test]
     fn txn_stats_accumulate() {
         let mut s = TxnStats::default();
-        s.record(1000, 4, 2, 2, 0);
-        s.record(2000, 5, 3, 2, 1);
-        assert_eq!(s.count, 2);
+        s.record(1000, 4, 2, 2, 0, 0);
+        s.record(2000, 5, 3, 2, 1, 400);
+        s.record(1500, 5, 3, 2, 3, 700);
+        assert_eq!(s.count, 3);
         assert!((s.latency_ns.mean() - 1500.0).abs() < 1e-9);
-        assert!((s.bus_ops.mean() - 4.5).abs() < 1e-9);
-        assert_eq!(s.retries.get(), 1);
+        assert_eq!(s.retries.get(), 4);
+        assert_eq!(s.max_retries, 3);
+        assert_eq!(s.backoff_ns.get(), 1100);
     }
 
     #[test]
     fn bucket_routes_by_kind_and_service() {
         let mut m = MachineMetrics::default();
         m.bucket(RequestKind::Read, Served::Memory, false)
-            .record(1, 4, 2, 2, 0);
+            .record(1, 4, 2, 2, 0, 0);
         m.bucket(RequestKind::Read, Served::RemoteModified, false)
-            .record(1, 5, 2, 3, 0);
+            .record(1, 5, 2, 3, 0, 0);
         m.bucket(RequestKind::Write, Served::Memory, false)
-            .record(1, 6, 4, 2, 0);
+            .record(1, 6, 4, 2, 0, 0);
         m.bucket(RequestKind::Write, Served::RemoteModified, false)
-            .record(1, 4, 2, 2, 0);
+            .record(1, 4, 2, 2, 0, 0);
         m.bucket(RequestKind::Read, Served::Local, false)
-            .record(1, 0, 0, 0, 0);
+            .record(1, 0, 0, 0, 0, 0);
         m.bucket(RequestKind::TestAndSet, Served::Memory, true)
-            .record(1, 4, 2, 2, 0);
+            .record(1, 4, 2, 2, 0, 0);
         m.bucket(RequestKind::TestAndSet, Served::Memory, false)
-            .record(1, 4, 2, 2, 0);
+            .record(1, 4, 2, 2, 0, 0);
         assert_eq!(m.read_unmodified.count, 1);
         assert_eq!(m.read_modified.count, 1);
         assert_eq!(m.write_unmodified.count, 1);
@@ -307,7 +330,7 @@ mod tests {
     fn home_cache_reads_count_as_unmodified() {
         let mut m = MachineMetrics::default();
         m.bucket(RequestKind::Read, Served::HomeCache, false)
-            .record(1, 2, 1, 1, 0);
+            .record(1, 2, 1, 1, 0, 0);
         assert_eq!(m.read_unmodified.count, 1);
     }
 

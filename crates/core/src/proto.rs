@@ -176,6 +176,27 @@ impl OpKind {
         )
     }
 
+    /// Whether this operation is an address-only *request* (row or column).
+    /// Only requests are eligible for loss/duplication faults: losing a
+    /// request merely forces a retry, whereas losing a reply, purge or
+    /// write-back would lose data or invalidations outright — those paths
+    /// are assumed fail-stop hardware.
+    pub fn is_request(self) -> bool {
+        use OpKind::*;
+        matches!(
+            self,
+            ReadRowRequest
+                | ReadColRequestRemove
+                | ReadColRequestMemory
+                | ReadModRowRequest
+                | ReadModColRequestRemove
+                | ReadModColRequestMemory
+                | TasRowRequest
+                | TasColRequest
+                | TasColRequestMemory
+        )
+    }
+
     /// Short protocol-style name, e.g. `READ(COL,REQ,REMOVE)`.
     pub fn name(self) -> &'static str {
         use OpKind::*;
@@ -231,6 +252,20 @@ impl Piece {
     }
 }
 
+/// A fault stamped onto an in-flight operation by the
+/// [`crate::FaultPlan`]-driven injector. The faulted copy still occupies
+/// its bus for the full duration (the wire does not know it is garbage);
+/// the fault is *consumed* at dispatch instead of the normal snoop actions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpFault {
+    /// No controller or memory heard the operation; the originator's
+    /// controller times out and retransmits (a retry).
+    Lost,
+    /// A spurious duplicate of a request whose original is also in flight;
+    /// consumed silently (re-acting on it could purge live data).
+    Duplicate,
+}
+
 /// One bus operation in flight.
 ///
 /// A bus operation contains "a type, an originating node id (for routing
@@ -260,6 +295,8 @@ pub struct BusOp {
     /// line was purged meanwhile, the controller discards the reply and
     /// the request is retransmitted (the §3 robustness behaviour).
     pub supplier: Option<NodeId>,
+    /// Injected fault stamped on this copy of the operation, if any.
+    pub fault: Option<OpFault>,
 }
 
 impl BusOp {
@@ -274,6 +311,7 @@ impl BusOp {
             allocate: false,
             piece: None,
             supplier: None,
+            fault: None,
         }
     }
 
@@ -390,6 +428,49 @@ mod tests {
         assert!(Piece { index: 3, of: 4 }.is_last());
         assert!(!Piece { index: 0, of: 4 }.is_last());
         assert!(Piece { index: 0, of: 1 }.is_last());
+    }
+
+    #[test]
+    fn loss_eligibility_is_exactly_the_requests() {
+        use OpKind::*;
+        let requests = [
+            ReadRowRequest,
+            ReadColRequestRemove,
+            ReadColRequestMemory,
+            ReadModRowRequest,
+            ReadModColRequestRemove,
+            ReadModColRequestMemory,
+            TasRowRequest,
+            TasColRequest,
+            TasColRequestMemory,
+        ];
+        for kind in requests {
+            assert!(kind.is_request(), "{kind} should be loss-eligible");
+            assert!(!kind.is_reply_with_data(), "requests are address-only");
+        }
+        for kind in [
+            ReadRowReply,
+            ReadModColReplyPurge,
+            ReadModRowPurge,
+            WritebackColRemove,
+            WritebackRowUpdate,
+            WritebackColUpdateMemory,
+            TasRowFail,
+            TasColFail,
+        ] {
+            assert!(!kind.is_request(), "{kind} must never be lost/duplicated");
+        }
+    }
+
+    #[test]
+    fn new_ops_carry_no_fault() {
+        let op = BusOp::new(
+            OpKind::ReadRowRequest,
+            LineAddr::new(1),
+            NodeId::new(0),
+            TxnId(1),
+        );
+        assert_eq!(op.fault, None);
     }
 
     #[test]

@@ -56,6 +56,21 @@ pub enum TracePoint {
     MltRemove,
     /// A modified signal was dropped by failure injection.
     SignalDrop,
+    /// A request op was lost on its bus by failure injection (no controller
+    /// acted; the originator retries).
+    FaultLost,
+    /// A spurious duplicate of a request was consumed without effect.
+    FaultDuplicate,
+    /// A memory bank transiently NACKed a request, forcing a bounce.
+    FaultNack,
+    /// A controller blackout window opened (the originator field names the
+    /// blacked-out node).
+    FaultBlackout,
+    /// An MLT membership change left one replica transiently stale.
+    MltDelay,
+    /// The livelock watchdog tripped on a transaction over its retry/age
+    /// budget (escalation mode only; fail-fast panics instead).
+    WatchdogTrip,
 }
 
 impl TracePoint {
@@ -69,6 +84,12 @@ impl TracePoint {
             TracePoint::MltInsert => "mlt-insert",
             TracePoint::MltRemove => "mlt-remove",
             TracePoint::SignalDrop => "signal-drop",
+            TracePoint::FaultLost => "fault-lost",
+            TracePoint::FaultDuplicate => "fault-duplicate",
+            TracePoint::FaultNack => "fault-nack",
+            TracePoint::FaultBlackout => "fault-blackout",
+            TracePoint::MltDelay => "mlt-delay",
+            TracePoint::WatchdogTrip => "watchdog-trip",
         }
     }
 }

@@ -1,0 +1,252 @@
+//! Chaos tests: the §3 robustness claim under adversarial fault injection.
+//!
+//! The paper argues the protocol is self-healing — a controller "can, on
+//! occasion, simply discard such requests without breaking the protocol",
+//! because memory's per-line valid bit bounces misrouted requests back into
+//! retries. These tests push far past the occasional discard: every fault
+//! class the [`FaultPlan`] knows (dropped modified signals, lost and
+//! duplicated bus requests, delayed MLT replica views, memory-bank NACKs,
+//! controller blackouts) at simultaneously nonzero rates, with the property
+//! under test always the same:
+//!
+//! * every submitted transaction completes;
+//! * the quiescent machine passes every coherence invariant;
+//! * the livelock watchdog stays silent unless its budget is deliberately
+//!   set below what the fault rate demands.
+
+use multicube::{
+    FaultPlan, Machine, MachineConfig, Request, RequestKind, RetryPolicy, TraceSink, Watchdog,
+    WatchdogAction,
+};
+use multicube_mem::LineAddr;
+use multicube_topology::NodeId;
+use proptest::prelude::*;
+
+/// A compact encoding of one request.
+#[derive(Debug, Clone, Copy)]
+struct Step {
+    node: u8,
+    kind: u8,
+    line: u8,
+}
+
+fn steps(max_len: usize) -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        (any::<u8>(), 0u8..5, any::<u8>()).prop_map(|(node, kind, line)| Step { node, kind, line }),
+        1..max_len,
+    )
+}
+
+fn kind_of(code: u8) -> RequestKind {
+    match code {
+        0 | 1 => RequestKind::Read,
+        2 => RequestKind::Write,
+        3 => RequestKind::Allocate,
+        4 => RequestKind::TestAndSet,
+        _ => RequestKind::Writeback,
+    }
+}
+
+/// Replays a step sequence serially (submit, drain); returns completions.
+fn replay(machine: &mut Machine, steps: &[Step], lines: u64) -> u64 {
+    let nodes = machine.side() * machine.side();
+    let mut completions = 0u64;
+    for s in steps {
+        let node = NodeId::new(s.node as u32 % nodes);
+        let line = LineAddr::new(s.line as u64 % lines);
+        machine
+            .submit(node, Request::new(kind_of(s.kind), line))
+            .expect("serial submission to an idle node");
+        completions += machine.run_to_quiescence().len() as u64;
+    }
+    completions
+}
+
+/// Replays concurrently: all nine nodes of a 3x3 grid in flight per round.
+fn replay_concurrent(machine: &mut Machine, steps: &[Step], lines: u64) -> u64 {
+    let mut completions = 0u64;
+    for chunk in steps.chunks(9) {
+        for (i, s) in chunk.iter().enumerate() {
+            let node = NodeId::new(i as u32);
+            let line = LineAddr::new(s.line as u64 % lines);
+            machine
+                .submit(node, Request::new(kind_of(s.kind), line))
+                .unwrap();
+        }
+        completions += machine.run_to_quiescence().len() as u64;
+    }
+    completions
+}
+
+/// An adversarial composite plan: at least four fault classes at nonzero
+/// rates, scaled by the generated percentages.
+fn plan_of(loss_pct: u8, nack_pct: u8, drop_pct: u8, extra_pct: u8) -> FaultPlan {
+    FaultPlan::default()
+        .with_op_loss(loss_pct as f64 / 100.0)
+        .with_memory_nack(nack_pct as f64 / 100.0)
+        .with_signal_drop(drop_pct as f64 / 100.0)
+        .with_op_duplicate(extra_pct as f64 / 100.0)
+        .with_mlt_delay(extra_pct as f64 / 200.0, 2_000)
+        .with_blackout(extra_pct as f64 / 400.0, 1_500)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Under any composite fault plan with a generous watchdog budget,
+    /// serial traffic always completes, stays coherent, and never needs
+    /// the watchdog.
+    #[test]
+    fn chaos_serial_traffic_survives(
+        ops in steps(40),
+        rates in (5u8..40, 5u8..50, 5u8..50, 0u8..40),
+        seed in 0u64..64,
+    ) {
+        let (loss, nack, drop, extra) = rates;
+        let config = MachineConfig::grid(3)
+            .unwrap()
+            .with_fault_plan(plan_of(loss, nack, drop, extra))
+            .with_retry_policy(RetryPolicy::default().with_backoff(100, 10_000));
+        let mut m = Machine::new(config, seed).unwrap();
+        let completions = replay(&mut m, &ops, 12);
+        prop_assert_eq!(completions as usize, ops.len());
+        m.check_coherence().unwrap();
+        prop_assert_eq!(m.metrics().watchdog_trips.get(), 0);
+    }
+
+    /// The same holds under concurrent traffic, where injected faults
+    /// interleave with genuine protocol races.
+    #[test]
+    fn chaos_concurrent_traffic_survives(
+        ops in steps(36),
+        rates in (5u8..35, 5u8..40, 5u8..40, 0u8..30),
+        seed in 0u64..64,
+    ) {
+        let (loss, nack, drop, extra) = rates;
+        let config = MachineConfig::grid(3)
+            .unwrap()
+            .with_fault_plan(plan_of(loss, nack, drop, extra))
+            .with_retry_policy(RetryPolicy::default().with_backoff(200, 25_000));
+        let mut m = Machine::new(config, seed).unwrap();
+        let completions = replay_concurrent(&mut m, &ops, 6);
+        prop_assert_eq!(completions as usize, ops.len());
+        m.check_coherence().unwrap();
+        prop_assert_eq!(m.metrics().watchdog_trips.get(), 0);
+    }
+
+    /// A-1 capacity pressure composed with faults: a tiny MLT forces
+    /// overflow write-backs while requests are being lost; the machine
+    /// still converges with zero checker violations.
+    #[test]
+    fn mlt_overflow_under_op_loss_converges(ops in steps(40), loss in 10u8..40) {
+        let config = MachineConfig::grid(3)
+            .unwrap()
+            .with_mlt_capacity(2)
+            .with_fault_plan(FaultPlan::default().with_op_loss(loss as f64 / 100.0));
+        let mut m = Machine::new(config, 47).unwrap();
+        let completions = replay(&mut m, &ops, 24);
+        prop_assert_eq!(completions as usize, ops.len());
+        m.check_coherence().unwrap();
+    }
+}
+
+/// Deterministic fault-plan replay: identical (config, seed) gives a
+/// byte-identical trace and an identical run report — for more than one
+/// plan shape.
+#[test]
+fn faulted_runs_are_deterministic() {
+    let plans = [
+        plan_of(20, 25, 30, 20),
+        FaultPlan::default()
+            .with_op_duplicate(0.3)
+            .with_blackout(0.05, 2_000),
+    ];
+    for (i, plan) in plans.iter().enumerate() {
+        let run = || {
+            let config = MachineConfig::grid(3)
+                .unwrap()
+                .with_fault_plan(*plan)
+                .with_retry_policy(RetryPolicy::default().with_backoff(100, 10_000));
+            let mut m = Machine::new(config, 1234).unwrap();
+            m.set_trace_sink(TraceSink::ring(1 << 16));
+            let report = m.run_synthetic(&multicube::SyntheticSpec::default(), 20);
+            (m.trace_events(), format!("{report}"))
+        };
+        let (trace_a, report_a) = run();
+        let (trace_b, report_b) = run();
+        assert!(!trace_a.is_empty(), "plan {i} produced no trace events");
+        assert_eq!(trace_a, trace_b, "plan {i} trace diverged across replays");
+        assert_eq!(
+            report_a, report_b,
+            "plan {i} report diverged across replays"
+        );
+    }
+}
+
+/// The negative watchdog test: a retry budget of 1 is deliberately below
+/// what a 60% op-loss rate demands, so escalation *must* fire — and the
+/// escalated (fault-immune) retries still finish every transaction
+/// coherently.
+#[test]
+fn starved_budget_trips_watchdog_and_escalation_completes() {
+    let config = MachineConfig::grid(3)
+        .unwrap()
+        .with_fault_plan(
+            FaultPlan::default()
+                .with_op_loss(0.6)
+                .with_memory_nack(0.5)
+                .with_signal_drop(0.5),
+        )
+        .with_watchdog(
+            Watchdog::default()
+                .with_retry_budget(1)
+                .with_action(WatchdogAction::Escalate),
+        );
+    let mut m = Machine::new(config, 7).unwrap();
+    let mut completions = 0usize;
+    let mut submitted = 0usize;
+    for round in 0..20u64 {
+        for i in 0..9u32 {
+            let node = NodeId::new(i);
+            let line = LineAddr::new((round + i as u64) % 5);
+            let kind = if (round + i as u64).is_multiple_of(3) {
+                RequestKind::Write
+            } else {
+                RequestKind::Read
+            };
+            m.submit(node, Request::new(kind, line)).unwrap();
+            submitted += 1;
+        }
+        completions += m.run_to_quiescence().len();
+    }
+    assert_eq!(completions, submitted);
+    m.check_coherence().unwrap();
+    assert!(
+        m.metrics().watchdog_trips.get() > 0,
+        "a retry budget of 1 under 60% op loss must trip the watchdog"
+    );
+}
+
+/// Fail-fast mode aborts the run instead of escalating.
+#[test]
+#[should_panic(expected = "watchdog")]
+fn fail_fast_watchdog_panics_when_starved() {
+    let config = MachineConfig::grid(2)
+        .unwrap()
+        .with_fault_plan(FaultPlan::default().with_signal_drop(0.99))
+        .with_watchdog(
+            Watchdog::default()
+                .with_retry_budget(1)
+                .with_action(WatchdogAction::FailFast),
+        );
+    let mut m = Machine::new(config, 3).unwrap();
+    // Node 0 (column 0) takes line 1 modified; line 1's home column is 1,
+    // so a later read must poll the modified signal — which almost always
+    // drops, bouncing off memory's valid bit into retry after retry.
+    m.submit(NodeId::new(0), Request::write(LineAddr::new(1)))
+        .unwrap();
+    m.run_to_quiescence();
+    m.submit(NodeId::new(3), Request::read(LineAddr::new(1)))
+        .unwrap();
+    m.run_to_quiescence();
+}

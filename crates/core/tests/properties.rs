@@ -2,7 +2,7 @@
 //! machine configurations must always complete, stay coherent and remain
 //! deterministic.
 
-use multicube::{LatencyMode, Machine, MachineConfig, Request, RequestKind};
+use multicube::{FaultPlan, LatencyMode, Machine, MachineConfig, Request, RequestKind};
 use multicube_mem::{CacheGeometry, LineAddr};
 use multicube_topology::NodeId;
 use proptest::prelude::*;
@@ -149,7 +149,7 @@ proptest! {
     fn signal_drops_never_lose_transactions(ops in steps(40), drop_pct in 0u8..90) {
         let config = MachineConfig::grid(3)
             .unwrap()
-            .with_signal_drop_probability(drop_pct as f64 / 100.0);
+            .with_fault_plan(FaultPlan::default().with_signal_drop(drop_pct as f64 / 100.0));
         let mut m = Machine::new(config, 23).unwrap();
         let (completions, _) = replay(&mut m, &ops, 12);
         prop_assert_eq!(completions as usize, ops.len());

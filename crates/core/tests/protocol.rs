@@ -1,7 +1,9 @@
 //! Protocol-level integration tests: transaction flows, bus-operation
 //! counts (the §6 cost claims), races, robustness, and determinism.
 
-use multicube::{LatencyMode, Machine, MachineConfig, Request, RequestKind, SyntheticSpec};
+use multicube::{
+    FaultPlan, LatencyMode, Machine, MachineConfig, Request, RequestKind, SyntheticSpec,
+};
 use multicube_mem::LineAddr;
 use multicube_topology::NodeId;
 
@@ -321,7 +323,7 @@ fn victim_writeback_preserves_dirty_data() {
 fn dropped_signals_still_complete_via_memory_bounce() {
     let config = MachineConfig::grid(4)
         .unwrap()
-        .with_signal_drop_probability(0.7);
+        .with_fault_plan(FaultPlan::default().with_signal_drop(0.7));
     let mut m = Machine::new(config, 11).unwrap();
     let line = LineAddr::new(5);
     let owner = NodeId::new(0);

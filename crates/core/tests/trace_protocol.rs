@@ -3,7 +3,7 @@
 //! silent.
 
 use multicube::trace::{TracePoint, TraceSink};
-use multicube::{Machine, MachineConfig, OpKind, Request};
+use multicube::{FaultPlan, Machine, MachineConfig, OpKind, Request};
 use multicube_mem::LineAddr;
 
 fn grid4() -> Machine {
@@ -119,7 +119,7 @@ fn ring_sink_stays_bounded_under_load() {
 fn dropped_signals_surface_as_retry_events() {
     let config = MachineConfig::grid(4)
         .unwrap()
-        .with_signal_drop_probability(0.9);
+        .with_fault_plan(FaultPlan::default().with_signal_drop(0.9));
     let mut m = Machine::new(config, 7).unwrap();
     let line = LineAddr::new(1 + 4);
     let owner = m.config().topology().node(3, 3);

@@ -13,7 +13,9 @@
 //! * re-running of stored `*.proptest-regressions` seeds before novel
 //!   cases are generated (`cc <hex>` lines seed the generator directly;
 //!   shrinking is not implemented, so a fresh failure reports the full
-//!   generated input instead of a minimal one).
+//!   generated input instead of a minimal one);
+//! * the `PROPTEST_CASES` environment variable, overriding the per-test
+//!   case count (used by CI soak jobs).
 //!
 //! Case generation is fully deterministic: case `i` of test `t` derives its
 //! RNG seed from `(t, i)`, so failures reproduce without a persistence file.

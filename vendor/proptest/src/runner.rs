@@ -71,7 +71,14 @@ pub fn run<S, F>(
 {
     let mut seeds = stored_seeds(file, manifest_dir);
     let base = fnv1a(test_name.as_bytes());
-    seeds.extend((0..config.cases as u64).map(|i| base ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+    // `PROPTEST_CASES` overrides the per-test case count, like upstream
+    // proptest — CI soak jobs use it to deepen the search without touching
+    // the in-tree configuration.
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(config.cases);
+    seeds.extend((0..cases as u64).map(|i| base ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
     for (case, seed) in seeds.into_iter().enumerate() {
         let mut rng = TestRng::seed(seed);
         let value = strategy.generate(&mut rng);
