@@ -1,0 +1,106 @@
+//! `perf` — the reproducible core-performance harness.
+//!
+//! ```text
+//! perf [--quick] [--out PATH] [--baseline PATH]
+//! ```
+//!
+//! Runs the core kernels (see `multicube_bench::perf`) with warmup and
+//! repeats, and writes median/MAD results as JSON (default
+//! `BENCH_core.json` in the current directory). `--baseline` embeds a
+//! previous report's medians and the speedup against them.
+
+use std::process::ExitCode;
+
+use multicube_bench::perf::{
+    extract_kernel_medians, render_json, run_all, validate_report, PerfConfig,
+};
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_core.json");
+    let mut baseline_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => return usage("--out needs a path"),
+            },
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = Some(p),
+                None => return usage("--baseline needs a path"),
+            },
+            "--help" | "-h" => {
+                println!("usage: perf [--quick] [--out PATH] [--baseline PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let baseline = match &baseline_path {
+        Some(p) => match std::fs::read_to_string(p) {
+            Ok(text) => {
+                let medians = extract_kernel_medians(&text);
+                if medians.is_empty() {
+                    eprintln!("perf: no kernel medians found in baseline {p}");
+                    return ExitCode::FAILURE;
+                }
+                Some(medians)
+            }
+            Err(e) => {
+                eprintln!("perf: cannot read baseline {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    let cfg = if quick {
+        PerfConfig::quick()
+    } else {
+        PerfConfig::full()
+    };
+    eprintln!(
+        "perf: running {} kernels ({} warmup + {} repeats each, {} mode)",
+        3,
+        cfg.warmup,
+        cfg.repeats,
+        if cfg.quick { "quick" } else { "full" }
+    );
+    let results = run_all(&cfg);
+    for r in &results {
+        let speedup = baseline
+            .as_deref()
+            .and_then(|b| b.iter().find(|(n, _)| n == r.name))
+            .map(|(_, base)| {
+                format!(
+                    " ({:.2}x vs baseline)",
+                    *base as f64 / r.median_ns.max(1) as f64
+                )
+            })
+            .unwrap_or_default();
+        eprintln!(
+            "  {:<28} median {:>12} ns  mad {:>10} ns{}",
+            r.name, r.median_ns, r.mad_ns, speedup
+        );
+    }
+    let json = render_json(&cfg, &results, baseline.as_deref());
+    if let Err(e) = validate_report(&json) {
+        eprintln!("perf: internal error, generated report fails validation: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("perf: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("perf: wrote {out_path}");
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("perf: {msg}\nusage: perf [--quick] [--out PATH] [--baseline PATH]");
+    ExitCode::FAILURE
+}

@@ -10,17 +10,41 @@ use multicube_mva::FigureSeries;
 /// Writes one figure's series as a CSV table: a `rate_per_ms` column
 /// followed by one efficiency column per curve.
 ///
+/// The shared rate column is only meaningful if every series agrees on
+/// the rate at each row index (shorter series simply end early). A file
+/// that silently paired row `i`'s rate from one series with row `i`'s
+/// efficiency from a series swept over a *different* rate grid would
+/// mislabel every such point, so mismatched grids are an error.
+///
 /// # Errors
 ///
-/// Propagates I/O errors from creating or writing the file.
+/// Propagates I/O errors from creating or writing the file, and returns
+/// [`std::io::ErrorKind::InvalidData`] when two series disagree on the
+/// rate at the same row index.
 pub fn write_series_csv(path: &Path, series: &[FigureSeries]) -> std::io::Result<()> {
+    let rows = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+    for i in 0..rows {
+        let mut at_i = series.iter().filter_map(|s| s.points.get(i));
+        if let Some(first) = at_i.next() {
+            if let Some(other) = at_i.find(|p| p.rate_per_ms != first.rate_per_ms) {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "series disagree on the rate grid at row {i}: {} vs {} \
+                         requests/ms; a shared rate_per_ms column would mislabel \
+                         these points",
+                        first.rate_per_ms, other.rate_per_ms
+                    ),
+                ));
+            }
+        }
+    }
     let mut f = std::fs::File::create(path)?;
     write!(f, "rate_per_ms")?;
     for s in series {
         write!(f, ",{}", s.label.replace(',', ";"))?;
     }
     writeln!(f)?;
-    let rows = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
     for i in 0..rows {
         let rate = series
             .iter()
@@ -188,6 +212,36 @@ mod tests {
         assert_eq!(lines[0], "rate_per_ms,a,b;with-comma");
         assert!(lines[1].starts_with("1,0.9,0.7"));
         assert!(lines[2].starts_with("2,0.8,"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mismatched_rate_grids_are_rejected() {
+        // Two curves swept over different rate grids: a shared rate column
+        // would label series b's 5.0-requests/ms point as 1.0.
+        let point = |rate: f64, eff: f64| FigurePoint {
+            rate_per_ms: rate,
+            efficiency: eff,
+            rho_row: 0.0,
+            rho_col: 0.0,
+        };
+        let series = vec![
+            FigureSeries {
+                label: "a".into(),
+                points: vec![point(1.0, 0.9)],
+            },
+            FigureSeries {
+                label: "b".into(),
+                points: vec![point(5.0, 0.7)],
+            },
+        ];
+        let dir = std::env::temp_dir().join("multicube_csv_mismatch_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig.csv");
+        let err = write_series_csv(&path, &series).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("row 0"), "{err}");
+        assert!(!path.exists(), "no partial file on rejection");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -13,6 +13,7 @@
 //! point per experiment so `cargo bench` exercises every code path.
 
 pub mod csv;
+pub mod perf;
 pub mod simfig;
 pub mod tables;
 

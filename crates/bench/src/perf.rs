@@ -1,0 +1,403 @@
+//! Reproducible performance harness for the simulation core.
+//!
+//! Every sweep point of the paper's evaluation is a full machine run, so
+//! simulation throughput is the budget every experiment spends from. This
+//! module measures it the same way every time: each *kernel* is run
+//! `warmup` untimed passes and then `repeats` timed passes, and the
+//! harness reports the **median** and the **median absolute deviation**
+//! (MAD) of the per-pass wall-clock times. Median/MAD are robust to the
+//! scheduling outliers that plague shared CI machines, where mean/stddev
+//! are not.
+//!
+//! The `perf` binary writes the results as `BENCH_core.json` at the repo
+//! root (override with `--out`). Passing `--baseline <previous.json>`
+//! embeds the previous medians and the speedup against them, which is how
+//! before/after numbers are committed alongside an optimization:
+//!
+//! ```text
+//! cargo run --release -p multicube-bench --bin perf -- --out /tmp/before.json
+//! # ... apply the optimization ...
+//! cargo run --release -p multicube-bench --bin perf -- \
+//!     --baseline /tmp/before.json --out BENCH_core.json
+//! ```
+//!
+//! `--quick` shrinks warmup/repeats for CI smoke runs; the numbers are
+//! noisier but the schema is identical.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use multicube::{FaultPlan, Machine, MachineConfig, Request, SyntheticSpec};
+use multicube_mem::LineAddr;
+use multicube_topology::NodeId;
+
+/// Identifies the JSON layout; bump when the schema changes shape.
+pub const SCHEMA: &str = "multicube-bench-core/v1";
+
+/// Harness configuration: how many passes to run per kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PerfConfig {
+    /// Untimed passes before measurement (JIT-free, but warms caches and
+    /// the allocator).
+    pub warmup: u32,
+    /// Timed passes; the report is their median and MAD.
+    pub repeats: u32,
+    /// Quick mode: fewer passes and smaller kernels (CI smoke runs).
+    pub quick: bool,
+}
+
+impl PerfConfig {
+    /// The full-fidelity configuration used for committed numbers.
+    pub fn full() -> Self {
+        PerfConfig {
+            warmup: 3,
+            repeats: 15,
+            quick: false,
+        }
+    }
+
+    /// The CI smoke configuration (`perf --quick`).
+    pub fn quick() -> Self {
+        PerfConfig {
+            warmup: 1,
+            repeats: 5,
+            quick: true,
+        }
+    }
+}
+
+/// One kernel's measurements, in nanoseconds of wall-clock time per pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelResult {
+    /// Kernel name (stable across versions; used to match baselines).
+    pub name: &'static str,
+    /// What one pass simulates, for the reader of the JSON.
+    pub work: &'static str,
+    /// All timed samples, in pass order.
+    pub samples_ns: Vec<u64>,
+    /// Median of `samples_ns`.
+    pub median_ns: u64,
+    /// Median absolute deviation of `samples_ns`.
+    pub mad_ns: u64,
+    /// Smallest sample.
+    pub min_ns: u64,
+    /// Largest sample.
+    pub max_ns: u64,
+}
+
+/// Median of a sample set (mean of the middle pair for even counts).
+fn median(sorted: &[u64]) -> u64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+    }
+}
+
+/// Runs one kernel body under the configured warmup/repeat discipline.
+fn measure(
+    cfg: &PerfConfig,
+    name: &'static str,
+    work: &'static str,
+    mut body: impl FnMut() -> u64,
+) -> KernelResult {
+    let mut guard = 0u64;
+    for _ in 0..cfg.warmup {
+        guard = guard.wrapping_add(body());
+    }
+    let mut samples_ns = Vec::with_capacity(cfg.repeats as usize);
+    for _ in 0..cfg.repeats {
+        let start = Instant::now();
+        guard = guard.wrapping_add(body());
+        samples_ns.push(start.elapsed().as_nanos() as u64);
+    }
+    std::hint::black_box(guard);
+    let mut sorted = samples_ns.clone();
+    sorted.sort_unstable();
+    let med = median(&sorted);
+    let mut dev: Vec<u64> = samples_ns.iter().map(|&s| s.abs_diff(med)).collect();
+    dev.sort_unstable();
+    KernelResult {
+        name,
+        work,
+        median_ns: med,
+        mad_ns: median(&dev),
+        min_ns: sorted.first().copied().unwrap_or(0),
+        max_ns: sorted.last().copied().unwrap_or(0),
+        samples_ns,
+    }
+}
+
+/// The `machine_1k_transactions` kernel: 1000 mixed read/write requests
+/// round-robined over a 4×4 grid, then drained to quiescence. This is the
+/// headline number optimization PRs are judged against (same body as the
+/// criterion `machine_1k_transactions` bench).
+fn kernel_machine_1k(quick: bool) -> u64 {
+    let txns: u64 = if quick { 300 } else { 1_000 };
+    let mut m = Machine::new(MachineConfig::grid(4).unwrap(), 8).unwrap();
+    for i in 0..txns {
+        let node = NodeId::new((i % 16) as u32);
+        let line = LineAddr::new(i % 64);
+        let req = if i % 3 == 0 {
+            Request::write(line)
+        } else {
+            Request::read(line)
+        };
+        if m.submit(node, req).is_ok() {
+            m.advance();
+        }
+    }
+    m.run_to_quiescence();
+    m.metrics().total_transactions()
+}
+
+/// The `synthetic_sweep` kernel: two closed-loop operating points of the
+/// Figure 2 workload (a light and a heavy request rate) on a 4×4 grid —
+/// the shape of every figure sweep in `figures`.
+fn kernel_synthetic_sweep(quick: bool) -> u64 {
+    let txns_per_node: u64 = if quick { 10 } else { 40 };
+    let mut total = 0u64;
+    for (seed, rate) in [(11u64, 10.0f64), (12, 25.0)] {
+        let mut m = Machine::new(MachineConfig::grid(4).unwrap(), seed).unwrap();
+        let spec = SyntheticSpec::default().with_request_rate_per_ms(rate);
+        let report = m.run_synthetic(&spec, txns_per_node);
+        total += report.transactions_completed;
+    }
+    total
+}
+
+/// The `faulted_run` kernel: the synthetic workload under a composite
+/// fault plan, exercising the retry/backoff and watchdog paths.
+fn kernel_faulted_run(quick: bool) -> u64 {
+    let txns_per_node: u64 = if quick { 10 } else { 30 };
+    let plan = FaultPlan::default()
+        .with_signal_drop(0.10)
+        .with_op_loss(0.10)
+        .with_op_duplicate(0.05)
+        .with_memory_nack(0.05);
+    let config = MachineConfig::grid(4).unwrap().with_fault_plan(plan);
+    let mut m = Machine::new(config, 21).unwrap();
+    let report = m.run_synthetic(&SyntheticSpec::default(), txns_per_node);
+    report.transactions_completed
+}
+
+/// Runs every kernel and collects the results.
+pub fn run_all(cfg: &PerfConfig) -> Vec<KernelResult> {
+    let quick = cfg.quick;
+    vec![
+        measure(
+            cfg,
+            "machine_1k_transactions",
+            "1000 mixed read/write transactions on a 4x4 grid, drained to quiescence",
+            move || kernel_machine_1k(quick),
+        ),
+        measure(
+            cfg,
+            "synthetic_sweep",
+            "closed-loop Figure-2 workload at 10 and 25 req/ms/proc on a 4x4 grid",
+            move || kernel_synthetic_sweep(quick),
+        ),
+        measure(
+            cfg,
+            "faulted_run",
+            "synthetic workload under a composite fault plan (drop/loss/dup/nack)",
+            move || kernel_faulted_run(quick),
+        ),
+    ]
+}
+
+/// A `(kernel name, median_ns)` pair extracted from a previous report.
+pub type BaselineEntry = (String, u64);
+
+/// Extracts `(name, median_ns)` pairs from a previous `BENCH_core.json`.
+///
+/// The scanner only relies on the `"name"` / `"median_ns"` keys this
+/// module itself emits, so it round-trips any report the harness wrote.
+pub fn extract_kernel_medians(text: &str) -> Vec<BaselineEntry> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find("\"name\"") {
+        rest = &rest[pos + "\"name\"".len()..];
+        let Some(q0) = rest.find('"') else { break };
+        let Some(q1) = rest[q0 + 1..].find('"') else {
+            break;
+        };
+        let name = rest[q0 + 1..q0 + 1 + q1].to_string();
+        let Some(mpos) = rest.find("\"median_ns\"") else {
+            break;
+        };
+        let tail = &rest[mpos + "\"median_ns\"".len()..];
+        let digits: String = tail
+            .chars()
+            .skip_while(|c| *c == ':' || c.is_whitespace())
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        if let Ok(v) = digits.parse::<u64>() {
+            out.push((name, v));
+        }
+        rest = tail;
+    }
+    out
+}
+
+/// Renders the report as JSON. `baseline` entries (from
+/// [`extract_kernel_medians`] on a previous report) are embedded together
+/// with the speedup of each matching kernel.
+pub fn render_json(
+    cfg: &PerfConfig,
+    results: &[KernelResult],
+    baseline: Option<&[BaselineEntry]>,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(
+        out,
+        "  \"mode\": \"{}\",",
+        if cfg.quick { "quick" } else { "full" }
+    );
+    let _ = writeln!(out, "  \"warmup\": {},", cfg.warmup);
+    let _ = writeln!(out, "  \"repeats\": {},", cfg.repeats);
+    out.push_str("  \"kernels\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(out, "      \"work\": \"{}\",", r.work);
+        let _ = writeln!(out, "      \"median_ns\": {},", r.median_ns);
+        let _ = writeln!(out, "      \"mad_ns\": {},", r.mad_ns);
+        let _ = writeln!(out, "      \"min_ns\": {},", r.min_ns);
+        let _ = writeln!(out, "      \"max_ns\": {},", r.max_ns);
+        if let Some(base) =
+            baseline.and_then(|b| b.iter().find(|(n, _)| n == r.name).map(|(_, m)| *m))
+        {
+            let _ = writeln!(out, "      \"baseline_median_ns\": {base},");
+            if r.median_ns > 0 {
+                let _ = writeln!(
+                    out,
+                    "      \"speedup_vs_baseline\": {:.4},",
+                    base as f64 / r.median_ns as f64
+                );
+            }
+        }
+        let samples: Vec<String> = r.samples_ns.iter().map(|s| s.to_string()).collect();
+        let _ = writeln!(out, "      \"samples_ns\": [{}]", samples.join(", "));
+        out.push_str(if i + 1 == results.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+/// Validates that `text` looks like a report this harness wrote: balanced
+/// JSON brackets, the schema marker, and at least the three core kernels
+/// with nonzero medians.
+///
+/// # Errors
+///
+/// A human-readable description of the first problem found.
+pub fn validate_report(text: &str) -> Result<(), String> {
+    let mut depth_obj = 0i64;
+    let mut depth_arr = 0i64;
+    let mut in_str = false;
+    let mut prev = '\0';
+    for c in text.chars() {
+        if in_str {
+            if c == '"' && prev != '\\' {
+                in_str = false;
+            }
+        } else {
+            match c {
+                '"' => in_str = true,
+                '{' => depth_obj += 1,
+                '}' => depth_obj -= 1,
+                '[' => depth_arr += 1,
+                ']' => depth_arr -= 1,
+                _ => {}
+            }
+            if depth_obj < 0 || depth_arr < 0 {
+                return Err("unbalanced brackets".into());
+            }
+        }
+        prev = c;
+    }
+    if depth_obj != 0 || depth_arr != 0 || in_str {
+        return Err("unterminated JSON structure".into());
+    }
+    if !text.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        return Err(format!("missing schema marker {SCHEMA}"));
+    }
+    let medians = extract_kernel_medians(text);
+    for required in ["machine_1k_transactions", "synthetic_sweep", "faulted_run"] {
+        match medians.iter().find(|(n, _)| n == required) {
+            None => return Err(format!("missing kernel {required}")),
+            Some((_, 0)) => return Err(format!("kernel {required} has zero median")),
+            Some(_) => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_mad_are_robust() {
+        let sorted = [10u64, 11, 12, 13, 1_000];
+        assert_eq!(median(&sorted), 12);
+        let even = [10u64, 20];
+        assert_eq!(median(&even), 15);
+        assert_eq!(median(&[]), 0);
+    }
+
+    #[test]
+    fn quick_report_roundtrips_and_validates() {
+        let cfg = PerfConfig {
+            warmup: 0,
+            repeats: 2,
+            quick: true,
+        };
+        let results = run_all(&cfg);
+        assert_eq!(results.len(), 3);
+        let json = render_json(&cfg, &results, None);
+        validate_report(&json).unwrap();
+        let medians = extract_kernel_medians(&json);
+        assert_eq!(medians.len(), 3);
+        assert_eq!(medians[0].0, "machine_1k_transactions");
+        assert_eq!(medians[0].1, results[0].median_ns);
+    }
+
+    #[test]
+    fn baseline_is_embedded_with_speedup() {
+        let cfg = PerfConfig::quick();
+        let results = vec![KernelResult {
+            name: "machine_1k_transactions",
+            work: "w",
+            samples_ns: vec![100, 100],
+            median_ns: 100,
+            mad_ns: 0,
+            min_ns: 100,
+            max_ns: 100,
+        }];
+        let base = vec![("machine_1k_transactions".to_string(), 200u64)];
+        let json = render_json(&cfg, &results, Some(&base));
+        assert!(json.contains("\"baseline_median_ns\": 200"));
+        assert!(json.contains("\"speedup_vs_baseline\": 2.0000"));
+    }
+
+    #[test]
+    fn validate_rejects_garbage() {
+        assert!(validate_report("{").is_err());
+        assert!(validate_report("{}").is_err());
+        let no_kernels = format!("{{\"schema\": \"{SCHEMA}\"}}");
+        assert!(validate_report(&no_kernels).is_err());
+    }
+}

@@ -18,9 +18,8 @@
 //!    retry failed to make progress.
 
 use core::fmt;
-use std::collections::{HashMap, HashSet};
 
-use multicube_mem::LineAddr;
+use multicube_mem::{LineAddr, LineMap, LineSet};
 use multicube_topology::NodeId;
 
 use crate::machine::Machine;
@@ -152,8 +151,8 @@ impl std::error::Error for CoherenceViolation {}
 pub fn check(m: &Machine) -> Result<(), CoherenceViolation> {
     let n = m.side();
     // Gather per-line cache state.
-    let mut owners: HashMap<LineAddr, NodeId> = HashMap::new();
-    let mut sharers: HashMap<LineAddr, Vec<NodeId>> = HashMap::new();
+    let mut owners: LineMap<NodeId> = LineMap::default();
+    let mut sharers: LineMap<Vec<NodeId>> = LineMap::default();
     for node_idx in 0..(n * n) {
         let node = NodeId::new(node_idx);
         let ctrl = m.controller(node);
@@ -173,8 +172,15 @@ pub fn check(m: &Machine) -> Result<(), CoherenceViolation> {
         }
     }
 
+    // Violations below are found by walking hash maps; report them in
+    // line-address order so a given failure names the same line on every
+    // run, whatever the hasher.
+    let mut owned_lines: Vec<LineAddr> = owners.keys().copied().collect();
+    owned_lines.sort_unstable_by_key(|l| l.index());
+
     // 2. Modified excludes shared.
-    for (&line, &owner) in &owners {
+    for &line in &owned_lines {
+        let owner = owners[&line];
         if let Some(sh) = sharers.get(&line) {
             if let Some(&sharer) = sh.first() {
                 return Err(CoherenceViolation::ModifiedWithSharers {
@@ -187,7 +193,7 @@ pub fn check(m: &Machine) -> Result<(), CoherenceViolation> {
     }
 
     // 3+4. Valid bit and value integrity over every line any structure knows.
-    let mut lines: HashSet<LineAddr> = HashSet::new();
+    let mut lines: LineSet = LineSet::default();
     lines.extend(owners.keys().copied());
     lines.extend(sharers.keys().copied());
     for col in 0..n {
@@ -195,6 +201,8 @@ pub fn check(m: &Machine) -> Result<(), CoherenceViolation> {
             lines.insert(line);
         }
     }
+    let mut lines: Vec<LineAddr> = lines.into_iter().collect();
+    lines.sort_unstable_by_key(|l| l.index());
     for line in lines {
         let col = m.home_column(line);
         let memory_valid = m.memory(col).is_valid(&line);
@@ -252,8 +260,8 @@ pub fn check(m: &Machine) -> Result<(), CoherenceViolation> {
                 }
             }
         }
-        let table: HashSet<LineAddr> = reference.unwrap_or_default().into_iter().collect();
-        let actual: HashSet<LineAddr> = owners
+        let table: LineSet = reference.unwrap_or_default().into_iter().collect();
+        let actual: LineSet = owners
             .iter()
             .filter(|(_, node)| node.index() % n == col)
             .map(|(line, _)| *line)
@@ -284,7 +292,8 @@ pub fn check(m: &Machine) -> Result<(), CoherenceViolation> {
     }
 
     // 7. Registry sanity.
-    for (&line, &node) in &owners {
+    for &line in &owned_lines {
+        let node = owners[&line];
         if m.registry_owner(line) != Some(node) {
             return Err(CoherenceViolation::RegistryMismatch {
                 line,
@@ -292,7 +301,13 @@ pub fn check(m: &Machine) -> Result<(), CoherenceViolation> {
             });
         }
     }
-    if let Some((line, node)) = m.registry_entries().find(|(l, _)| !owners.contains_key(l)) {
+    // Smallest offending address, not whichever the hash order yields
+    // first: stray-registry-entry reports must be stable run to run.
+    if let Some((line, node)) = m
+        .registry_entries()
+        .filter(|(l, _)| !owners.contains_key(l))
+        .min_by_key(|(l, _)| l.index())
+    {
         return Err(CoherenceViolation::RegistryMismatch {
             line,
             detail: format!("registry claims {node} but no cache holds it modified"),

@@ -37,13 +37,12 @@
 //! machine seed, so enabling faults never perturbs the workload stream, and
 //! identical `(config, seed)` pairs replay identical fault schedules.
 
-use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use multicube_mem::LineAddr;
-use multicube_sim::{DeterministicRng, SimTime};
+use multicube_sim::{DeterministicRng, FxHashMap, SimTime};
 
-use crate::proto::TxnId;
+use crate::proto::{TxnId, TxnSet};
 
 /// XOR'd into the machine seed so the injector's stream is decorrelated from
 /// the workload RNG without consuming a draw from it.
@@ -441,9 +440,9 @@ pub(crate) struct FaultInjector {
     blackout_until: Vec<SimTime>,
     /// Stale MLT overlay: a node temporarily serves this membership view for
     /// the line instead of the authoritative replica. Entries expire lazily.
-    stale_view: HashMap<(usize, LineAddr), (bool, SimTime)>,
+    stale_view: FxHashMap<(usize, LineAddr), (bool, SimTime)>,
     /// Transactions escalated by the watchdog: immune to all further faults.
-    escalated: HashSet<TxnId>,
+    escalated: TxnSet,
 }
 
 impl FaultInjector {
@@ -460,8 +459,8 @@ impl FaultInjector {
             watchdog,
             rng: DeterministicRng::seed(seed ^ INJECTOR_SEED_SALT),
             blackout_until: vec![SimTime::ZERO; n_nodes],
-            stale_view: HashMap::new(),
-            escalated: HashSet::new(),
+            stale_view: FxHashMap::default(),
+            escalated: TxnSet::default(),
         }
     }
 
@@ -585,7 +584,9 @@ impl FaultInjector {
 
     /// Any transaction still escalated (must be empty at quiescence).
     pub(crate) fn first_escalated(&self) -> Option<TxnId> {
-        self.escalated.iter().next().copied()
+        // Lowest id, not hash order: leak diagnostics must name the same
+        // transaction on every run.
+        self.escalated.iter().min().copied()
     }
 }
 

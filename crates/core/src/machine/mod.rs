@@ -14,9 +14,9 @@ mod synthetic;
 mod tas;
 mod writeback;
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
-use multicube_mem::{LineAddr, LineGeometry, LineVersion, MemoryBank};
+use multicube_mem::{LineAddr, LineGeometry, LineMap, LineVersion, MemoryBank};
 use multicube_sim::{DeterministicRng, EventQueue, SimDuration, SimTime};
 use multicube_topology::NodeId;
 
@@ -118,6 +118,34 @@ pub(crate) struct TxnInfo {
     pub done: bool,
 }
 
+/// Consolidated per-line protocol registry entry.
+///
+/// The machine used to keep five parallel `HashMap<LineAddr, _>`s (owner,
+/// sharer count, in-flight interest, committed version, sync word); most
+/// protocol events touch several of them for the same line, so each event
+/// paid several hash lookups. One entry per line makes that a single
+/// lookup. Entries are created on first touch and never removed — absent
+/// fields read as their defaults (no owner, zero sharers, `INITIAL`
+/// version, zero sync word), exactly like a missing map entry did.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LineEntry {
+    /// Which cache (if any) holds the line modified.
+    owner: Option<NodeId>,
+    /// Position in [`Machine::owned_list`] while `owner` is `Some`.
+    owned_pos: usize,
+    /// Number of caches holding the line shared.
+    sharers: u32,
+    /// Number of nodes with an outstanding transaction on the line — the
+    /// index behind [`Machine::line_has_inflight_interest`], kept
+    /// consistent by [`Machine::set_outstanding`] /
+    /// [`Machine::clear_outstanding`].
+    inflight: u32,
+    /// Latest committed write (value-integrity checking).
+    committed: LineVersion,
+    /// The designated synchronization word of the line (§4).
+    sync_word: u64,
+}
+
 /// A simulated Wisconsin Multicube.
 ///
 /// Drive it either with the closed-loop synthetic workload
@@ -159,23 +187,13 @@ pub struct Machine {
     pub(crate) rng: DeterministicRng,
     txn_seq: u64,
     version_seq: u64,
-    pub(crate) txns: HashMap<TxnId, TxnInfo>,
-    /// Which cache (if any) holds each line modified.
-    pub(crate) owner: HashMap<LineAddr, NodeId>,
+    /// Per-transaction bookkeeping: a slab indexed by `TxnId - 1` (ids are
+    /// the dense 1-based issue sequence minted by [`Machine::new_txn`]).
+    txns: Vec<TxnInfo>,
+    /// The per-line protocol registry (see [`LineEntry`]).
+    lines: LineMap<LineEntry>,
     /// Sampling support: all currently owned lines.
     pub(crate) owned_list: Vec<LineAddr>,
-    owned_pos: HashMap<LineAddr, usize>,
-    /// Number of caches holding each line shared.
-    pub(crate) sharers: HashMap<LineAddr, u32>,
-    /// Number of nodes with an outstanding transaction on each line —
-    /// the line-keyed index behind
-    /// [`Machine::line_has_inflight_interest`], kept consistent by
-    /// [`Machine::set_outstanding`] / [`Machine::clear_outstanding`].
-    inflight_interest: HashMap<LineAddr, u32>,
-    /// Latest committed write per line (value-integrity checking).
-    pub(crate) committed: HashMap<LineAddr, LineVersion>,
-    /// The designated synchronization word of each line (§4).
-    pub(crate) sync_words: HashMap<LineAddr, u64>,
     pub(crate) metrics: MachineMetrics,
     completions: VecDeque<Completion>,
     pub(crate) synthetic: Option<SyntheticState>,
@@ -231,14 +249,9 @@ impl Machine {
             rng: DeterministicRng::seed(seed),
             txn_seq: 0,
             version_seq: 0,
-            txns: HashMap::new(),
-            owner: HashMap::new(),
+            txns: Vec::new(),
+            lines: LineMap::default(),
             owned_list: Vec::new(),
-            owned_pos: HashMap::new(),
-            sharers: HashMap::new(),
-            inflight_interest: HashMap::new(),
-            committed: HashMap::new(),
-            sync_words: HashMap::new(),
             metrics: MachineMetrics::default(),
             completions: VecDeque::new(),
             synthetic: None,
@@ -368,15 +381,15 @@ impl Machine {
 
     /// The latest committed write version of `line` (INITIAL if unwritten).
     pub fn committed_version(&self, line: LineAddr) -> LineVersion {
-        self.committed
+        self.lines
             .get(&line)
-            .copied()
+            .map(|e| e.committed)
             .unwrap_or(LineVersion::INITIAL)
     }
 
     /// Reads `line`'s synchronization word (the §4 designated word).
     pub fn sync_word(&self, line: LineAddr) -> u64 {
-        self.sync_words.get(&line).copied().unwrap_or(0)
+        self.lines.get(&line).map(|e| e.sync_word).unwrap_or(0)
     }
 
     /// Writes `line`'s synchronization word from `node`, which must hold
@@ -392,7 +405,7 @@ impl Machine {
         if !holds {
             return false;
         }
-        self.sync_words.insert(line, value);
+        self.line_entry(line).sync_word = value;
         let v = self.next_version(line);
         if let Some(cl) = self.controllers[node.as_usize()].cache.peek_mut(&line) {
             cl.data = v;
@@ -461,7 +474,7 @@ impl Machine {
             return Ok(txn);
         }
         let txn = self.start_request(node, Request::new(kind, line));
-        if let Some(info) = self.txns.get_mut(&txn) {
+        if let Some(info) = self.txn_info_mut(txn) {
             info.fill_l1 = true;
         }
         Ok(txn)
@@ -683,54 +696,66 @@ impl Machine {
     // Registry maintenance (owner / sharer tracking)
     // ------------------------------------------------------------------
 
+    /// The consolidated per-line entry, created on first touch.
+    #[inline]
+    pub(crate) fn line_entry(&mut self, line: LineAddr) -> &mut LineEntry {
+        self.lines.entry(line).or_default()
+    }
+
     pub(crate) fn registry_set_owner(&mut self, line: LineAddr, node: NodeId) {
-        if let Some(prev) = self.owner.insert(line, node) {
-            let _ = prev;
-        } else {
-            self.owned_pos.insert(line, self.owned_list.len());
+        let pos = self.owned_list.len();
+        let e = self.lines.entry(line).or_default();
+        if e.owner.replace(node).is_none() {
+            e.owned_pos = pos;
             self.owned_list.push(line);
         }
     }
 
     pub(crate) fn registry_clear_owner(&mut self, line: LineAddr) {
-        if self.owner.remove(&line).is_some() {
-            if let Some(pos) = self.owned_pos.remove(&line) {
-                let last = self.owned_list.len() - 1;
-                self.owned_list.swap(pos, last);
-                self.owned_list.pop();
-                if pos < self.owned_list.len() {
-                    self.owned_pos.insert(self.owned_list[pos], pos);
-                }
-            }
+        let Some(e) = self.lines.get_mut(&line) else {
+            return;
+        };
+        if e.owner.take().is_none() {
+            return;
+        }
+        let pos = e.owned_pos;
+        let last = self.owned_list.len() - 1;
+        self.owned_list.swap(pos, last);
+        self.owned_list.pop();
+        if pos < self.owned_list.len() {
+            let moved = self.owned_list[pos];
+            self.lines
+                .get_mut(&moved)
+                .expect("owned line has a registry entry")
+                .owned_pos = pos;
         }
     }
 
     /// The cache currently recorded as holding `line` modified.
     pub(crate) fn registry_owner(&self, line: LineAddr) -> Option<NodeId> {
-        self.owner.get(&line).copied()
+        self.lines.get(&line).and_then(|e| e.owner)
     }
 
     /// All registry entries (line, owner).
     pub(crate) fn registry_entries(&self) -> impl Iterator<Item = (LineAddr, NodeId)> + '_ {
-        self.owner.iter().map(|(l, n)| (*l, *n))
+        self.lines
+            .iter()
+            .filter_map(|(l, e)| e.owner.map(|n| (*l, n)))
     }
 
     fn sharers_incr(&mut self, line: LineAddr) {
-        *self.sharers.entry(line).or_insert(0) += 1;
+        self.line_entry(line).sharers += 1;
     }
 
     fn sharers_decr(&mut self, line: LineAddr) {
-        if let Some(c) = self.sharers.get_mut(&line) {
-            *c = c.saturating_sub(1);
-            if *c == 0 {
-                self.sharers.remove(&line);
-            }
+        if let Some(e) = self.lines.get_mut(&line) {
+            e.sharers = e.sharers.saturating_sub(1);
         }
     }
 
     /// Number of caches holding `line` shared.
     pub(crate) fn sharer_count(&self, line: LineAddr) -> u32 {
-        self.sharers.get(&line).copied().unwrap_or(0)
+        self.lines.get(&line).map(|e| e.sharers).unwrap_or(0)
     }
 
     /// Whether any node other than `except` has an outstanding transaction
@@ -740,7 +765,7 @@ impl Machine {
     /// Answered in O(1) from the line-keyed [`Self::inflight_interest`]
     /// index rather than scanning all `n^2` controllers.
     pub(crate) fn line_has_inflight_interest(&self, line: LineAddr, except: NodeId) -> bool {
-        let count = self.inflight_interest.get(&line).copied().unwrap_or(0);
+        let count = self.lines.get(&line).map(|e| e.inflight).unwrap_or(0);
         let except_holds = self.controllers[except.as_usize()]
             .outstanding()
             .map(|o| o.line == line)
@@ -766,7 +791,7 @@ impl Machine {
             self.controllers[idx].outstanding.is_none(),
             "node already has an outstanding transaction"
         );
-        *self.inflight_interest.entry(out.line).or_insert(0) += 1;
+        self.line_entry(out.line).inflight += 1;
         self.controllers[idx].outstanding = Some(out);
     }
 
@@ -775,12 +800,9 @@ impl Machine {
     pub(crate) fn clear_outstanding(&mut self, idx: usize) -> Option<Outstanding> {
         let out = self.controllers[idx].outstanding.take();
         if let Some(o) = &out {
-            match self.inflight_interest.get_mut(&o.line) {
-                Some(c) if *c > 1 => *c -= 1,
-                Some(_) => {
-                    self.inflight_interest.remove(&o.line);
-                }
-                None => debug_assert!(false, "missing inflight-interest entry"),
+            match self.lines.get_mut(&o.line) {
+                Some(e) if e.inflight > 0 => e.inflight -= 1,
+                _ => debug_assert!(false, "missing inflight-interest entry"),
             }
         }
         out
@@ -859,7 +881,7 @@ impl Machine {
     pub(crate) fn next_version(&mut self, line: LineAddr) -> LineVersion {
         self.version_seq += 1;
         let v = LineVersion::new(self.version_seq);
-        self.committed.insert(line, v);
+        self.line_entry(line).committed = v;
         v
     }
 
@@ -872,7 +894,7 @@ impl Machine {
         // may already have committed before the full block finishes its
         // final bus operation; the carried (pre-write) data is then
         // legitimately older than the committed version.
-        if let Some(info) = self.txns.get(&op.txn) {
+        if let Some(info) = self.txn_info(op.txn) {
             if info.installed && info.kind != crate::driver::RequestKind::Read {
                 return;
             }
@@ -994,7 +1016,7 @@ impl Machine {
         if !self.originator_on_bus(slot, op) {
             return;
         }
-        let Some(info) = self.txns.get(&op.txn) else {
+        let Some(info) = self.txn_info(op.txn) else {
             return;
         };
         if info.done {
@@ -1014,7 +1036,7 @@ impl Machine {
         if !op.kind.completes_originator() || !self.originator_on_bus(slot, op) {
             return;
         }
-        if let Some(info) = self.txns.get(&op.txn) {
+        if let Some(info) = self.txn_info(op.txn) {
             if !info.done {
                 self.install_and_finish(op.originator, op.txn, op.data, true, false);
             }
@@ -1030,7 +1052,7 @@ impl Machine {
 
     /// Attributes an emitted operation to its transaction.
     fn note_op(&mut self, op: &BusOp) {
-        if let Some(info) = self.txns.get_mut(&op.txn) {
+        if let Some(info) = self.txn_info_mut(op.txn) {
             info.bus_ops += 1;
             match op.kind.class() {
                 OpClass::Row => info.row_ops += 1,
@@ -1041,14 +1063,13 @@ impl Machine {
 
     /// Records a row-request retransmission for the transaction.
     pub(crate) fn note_retry(&mut self, txn: TxnId) {
-        if let Some(info) = self.txns.get_mut(&txn) {
+        if let Some(info) = self.txn_info_mut(txn) {
             info.retries += 1;
             let (line, node) = (info.line, info.node);
             self.trace_point(TracePoint::Retry, None, line, Some(node), Some(txn));
         }
         if let Some(out) = self
-            .txns
-            .get(&txn)
+            .txn_info(txn)
             .map(|i| i.node)
             .and_then(|node| self.controllers[node.as_usize()].outstanding.as_mut())
         {
@@ -1064,7 +1085,7 @@ impl Machine {
     /// (fail-fast) or is *escalated* — the injector stops faulting it, so
     /// its next retry is guaranteed to make the ordinary §3 progress.
     fn watchdog_check(&mut self, txn: TxnId) {
-        let Some(info) = self.txns.get(&txn) else {
+        let Some(info) = self.txn_info(txn) else {
             return;
         };
         if info.done || self.faults.is_escalated(txn) {
@@ -1098,7 +1119,7 @@ impl Machine {
 
     /// Records which agent served the transaction's data.
     pub(crate) fn note_served(&mut self, txn: TxnId, served: Served) {
-        if let Some(info) = self.txns.get_mut(&txn) {
+        if let Some(info) = self.txn_info_mut(txn) {
             info.served = served;
         }
     }
@@ -1130,7 +1151,7 @@ impl Machine {
                 continue;
             }
             let txn = out.txn;
-            if let Some(info) = self.txns.get_mut(&txn) {
+            if let Some(info) = self.txn_info_mut(txn) {
                 if !info.done && !info.installed {
                     info.poisoned = true;
                     self.trace_point(TracePoint::Poison, None, line, Some(node), Some(txn));
@@ -1146,26 +1167,45 @@ impl Machine {
     pub(crate) fn new_txn(&mut self, node: NodeId, req: Request) -> TxnId {
         self.txn_seq += 1;
         let txn = TxnId(self.txn_seq);
-        self.txns.insert(
-            txn,
-            TxnInfo {
-                node,
-                kind: req.kind,
-                line: req.line,
-                start: self.now(),
-                bus_ops: 0,
-                row_ops: 0,
-                col_ops: 0,
-                retries: 0,
-                backoff_ns: 0,
-                served: Served::Local,
-                installed: false,
-                poisoned: false,
-                fill_l1: false,
-                done: false,
-            },
+        debug_assert_eq!(
+            self.txns.len() as u64 + 1,
+            self.txn_seq,
+            "txn slab out of step with the id sequence"
         );
+        self.txns.push(TxnInfo {
+            node,
+            kind: req.kind,
+            line: req.line,
+            start: self.now(),
+            bus_ops: 0,
+            row_ops: 0,
+            col_ops: 0,
+            retries: 0,
+            backoff_ns: 0,
+            served: Served::Local,
+            installed: false,
+            poisoned: false,
+            fill_l1: false,
+            done: false,
+        });
         txn
+    }
+
+    /// Bookkeeping for `txn`; `None` for ids this machine never minted.
+    ///
+    /// Ids are the dense 1-based issue sequence, so the slab index is
+    /// `id - 1`; the `checked_sub` keeps a foreign `TxnId(0)` (tests build
+    /// arbitrary ids) from underflowing.
+    #[inline]
+    pub(crate) fn txn_info(&self, txn: TxnId) -> Option<&TxnInfo> {
+        self.txns.get(txn.0.checked_sub(1)? as usize)
+    }
+
+    /// Mutable access to `txn`'s bookkeeping.
+    #[inline]
+    pub(crate) fn txn_info_mut(&mut self, txn: TxnId) -> Option<&mut TxnInfo> {
+        let idx = txn.0.checked_sub(1)?;
+        self.txns.get_mut(idx as usize)
     }
 
     /// Whether `txn` is still the node's outstanding transaction in the
@@ -1198,13 +1238,13 @@ impl Machine {
         if !self.txn_outstanding(node, txn) {
             return;
         }
-        let info = self.txns.get(&txn).expect("txn info").clone();
+        let info = self.txn_info(txn).expect("txn info").clone();
         if info.done {
             return;
         }
         if info.poisoned {
             if is_final {
-                if let Some(i) = self.txns.get_mut(&txn) {
+                if let Some(i) = self.txn_info_mut(txn) {
                     i.poisoned = false;
                 }
                 self.note_retry(txn);
@@ -1231,7 +1271,7 @@ impl Machine {
                 }
                 RequestKind::Writeback => {}
             }
-            if let Some(i) = self.txns.get_mut(&txn) {
+            if let Some(i) = self.txn_info_mut(txn) {
                 i.installed = true;
             }
         }
@@ -1247,14 +1287,22 @@ impl Machine {
         self.controllers[node.as_usize()].completed += 1;
 
         let (latency, kind, line, fill_l1) = {
-            let info = self.txns.get_mut(&txn).expect("txn info");
+            let info = self.txn_info_mut(txn).expect("txn info");
             info.done = true;
-            (now.since(info.start), info.kind, info.line, info.fill_l1)
+            // saturating_since, matching the watchdog's age computation: a
+            // transaction finishing at its own start instant (zero-latency
+            // local path) must report age 0, never wrap.
+            (
+                now.saturating_since(info.start),
+                info.kind,
+                info.line,
+                info.fill_l1,
+            )
         };
         if fill_l1 {
             self.controllers[node.as_usize()].l1_fill(line);
         }
-        let info = self.txns.get(&txn).expect("txn info").clone();
+        let info = self.txn_info(txn).expect("txn info").clone();
         self.metrics.bucket(kind, info.served, success).record(
             latency.as_nanos(),
             info.bus_ops,
@@ -1345,6 +1393,21 @@ mod tests {
         // An ALLOCATE acknowledge is short.
         let ack = data_op.with_allocate(true);
         assert_eq!(m.op_duration(&ack), 50);
+    }
+
+    #[test]
+    fn zero_age_completion_reports_zero_latency() {
+        // A write-back of a line the node does not hold completes locally
+        // at its own start instant; the checked age computation must yield
+        // exactly zero (not wrap, not panic).
+        let mut m = machine(2);
+        let node = NodeId::new(0);
+        m.submit(node, Request::writeback(LineAddr::new(9)))
+            .unwrap();
+        let done = m.advance().expect("writeback completes");
+        assert_eq!(done.kind, RequestKind::Writeback);
+        assert_eq!(done.latency.as_nanos(), 0);
+        assert_eq!(done.at, SimTime::ZERO);
     }
 
     #[test]

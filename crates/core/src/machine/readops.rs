@@ -189,11 +189,11 @@ impl Machine {
         // A lost-op reissue can race the transaction's own completion (a
         // duplicate or late path may have finished it): never retry a
         // transaction that is done or unknown.
-        if self.txns.get(&op.txn).map(|i| i.done).unwrap_or(true) {
+        if self.txn_info(op.txn).map(|i| i.done).unwrap_or(true) {
             return;
         }
         self.note_retry(op.txn);
-        let Some((kind, retries)) = self.txns.get(&op.txn).map(|i| (i.kind, i.retries)) else {
+        let Some((kind, retries)) = self.txn_info(op.txn).map(|i| (i.kind, i.retries)) else {
             return;
         };
         use crate::driver::RequestKind::*;
@@ -207,7 +207,7 @@ impl Machine {
         // faulted line from saturating the row bus with bounces.
         let delay = self.faults.retry_delay_ns(retries);
         if delay > 0 {
-            if let Some(info) = self.txns.get_mut(&op.txn) {
+            if let Some(info) = self.txn_info_mut(op.txn) {
                 info.backoff_ns += delay;
             }
         }
@@ -237,7 +237,7 @@ impl Machine {
         }
         // A poisoned reply carries data that a purge has already swept
         // past; the requester will discard it, and so must snoopers.
-        if let Some(info) = self.txns.get(&op.txn) {
+        if let Some(info) = self.txn_info(op.txn) {
             if info.poisoned {
                 return;
             }

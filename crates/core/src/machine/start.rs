@@ -128,7 +128,7 @@ impl Machine {
     /// retransmitted on the row bus ... destined for the original
     /// requester").
     pub(crate) fn issue_row_request(&mut self, node: NodeId, txn: TxnId) {
-        let Some(info) = self.txns.get(&txn) else {
+        let Some(info) = self.txn_info(txn) else {
             return;
         };
         let (kind, line) = (info.kind, info.line);
@@ -177,7 +177,7 @@ impl Machine {
                 let word = self.sync_word(out.line);
                 let success = word == 0;
                 if success {
-                    self.sync_words.insert(out.line, 1);
+                    self.line_entry(out.line).sync_word = 1;
                     let v = self.next_version(out.line);
                     if let Some(cl) = self.controllers[idx].cache.get_mut(&out.line) {
                         cl.data = v;

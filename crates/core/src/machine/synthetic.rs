@@ -125,7 +125,7 @@ impl Machine {
             }
             let i = self.rng.below(self.owned_list.len() as u64) as usize;
             let line = self.owned_list[i];
-            if self.owner.get(&line) != Some(&node) {
+            if self.registry_owner(line) != Some(node) {
                 return Some(line);
             }
         }
@@ -153,7 +153,7 @@ impl Machine {
             } else {
                 LineAddr::new(self.rng.below(spec.shared_lines))
             };
-            if self.owner.contains_key(&line) {
+            if self.registry_owner(line).is_some() {
                 continue; // globally modified
             }
             if self.controllers[node.as_usize()].cache.contains(&line) {

@@ -68,7 +68,7 @@ impl Machine {
             }
             // Success: atomically set the word and transfer ownership
             // toward the originator.
-            self.sync_words.insert(op.line, 1);
+            self.line_entry(op.line).sync_word = 1;
             let data = self.controllers[d_idx]
                 .data_of(&op.line)
                 .expect("modified line has data");
@@ -120,7 +120,7 @@ impl Machine {
                 if word == 0 {
                     // Success: the line moves to the requester modified;
                     // shared copies are purged by the READ-MOD broadcast.
-                    self.sync_words.insert(op.line, 1);
+                    self.line_entry(op.line).sync_word = 1;
                     self.memories[col as usize].mark_invalid(&op.line);
                     let reply =
                         BusOp::new(OpKind::ReadModColReplyPurge, op.line, op.originator, op.txn)

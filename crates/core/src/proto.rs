@@ -18,6 +18,14 @@ use multicube_topology::NodeId;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TxnId(pub u64);
 
+/// A deterministic fast-hash map keyed by [`TxnId`] (see
+/// `multicube_sim::hash`). The machine's own bookkeeping uses a dense slab
+/// instead; this alias is for sparse transaction-keyed side tables.
+pub type TxnMap<V> = multicube_sim::FxHashMap<TxnId, V>;
+
+/// A deterministic fast-hash set of [`TxnId`]s.
+pub type TxnSet = multicube_sim::FxHashSet<TxnId>;
+
 impl fmt::Display for TxnId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "txn{}", self.0)

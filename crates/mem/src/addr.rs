@@ -2,6 +2,16 @@
 
 use core::fmt;
 
+use multicube_sim::hash::{FxHashMap, FxHashSet};
+
+/// A deterministic fast-hash map keyed by [`LineAddr`] — the map type every
+/// hot-path per-line table in the workspace should use. See
+/// `multicube_sim::hash` for why the default `RandomState` is wrong here.
+pub type LineMap<V> = FxHashMap<LineAddr, V>;
+
+/// A deterministic fast-hash set of [`LineAddr`]s.
+pub type LineSet = FxHashSet<LineAddr>;
+
 /// A word-granular memory address.
 ///
 /// The paper measures everything in *bus words* (e.g. "a block size of 16

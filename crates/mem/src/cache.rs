@@ -6,9 +6,7 @@
 //! per-line mode enum. The container is protocol-agnostic: coherence
 //! semantics live in the `multicube` crate.
 
-use std::collections::HashMap;
-
-use crate::addr::LineAddr;
+use crate::addr::{LineAddr, LineMap};
 
 /// Shape of a set-associative cache.
 ///
@@ -261,7 +259,7 @@ impl<M> SetAssocCache<M> {
     }
 
     /// Collects the resident lines into a map (for invariant checking).
-    pub fn snapshot(&self) -> HashMap<LineAddr, M>
+    pub fn snapshot(&self) -> LineMap<M>
     where
         M: Clone,
     {

@@ -24,7 +24,7 @@ pub mod cache;
 pub mod memory;
 pub mod mlt;
 
-pub use addr::{LineAddr, LineGeometry, WordAddr};
+pub use addr::{LineAddr, LineGeometry, LineMap, LineSet, WordAddr};
 pub use cache::{CacheGeometry, Evicted, SetAssocCache};
 pub use memory::{LineVersion, MemoryBank};
 pub use mlt::{MltInsert, ModifiedLineTable};

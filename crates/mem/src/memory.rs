@@ -5,9 +5,7 @@
 //! is necessary to prevent a request from acquiring stale data from memory
 //! while the modified line tables are in an inconsistent state." (§3)
 
-use std::collections::HashMap;
-
-use crate::addr::LineAddr;
+use crate::addr::{LineAddr, LineMap};
 
 /// An opaque stamp standing in for a line's data contents.
 ///
@@ -75,7 +73,7 @@ struct MemLine {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct MemoryBank {
-    lines: HashMap<LineAddr, MemLine>,
+    lines: LineMap<MemLine>,
     reads: u64,
     writes: u64,
 }

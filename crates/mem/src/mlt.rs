@@ -12,7 +12,7 @@
 
 use std::collections::VecDeque;
 
-use crate::addr::LineAddr;
+use crate::addr::{LineAddr, LineMap};
 
 /// Result of inserting into a [`ModifiedLineTable`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +32,16 @@ pub enum MltInsert {
 /// replica; the protocol keeps replicas in sync by snooping column-bus
 /// INSERT/REMOVE operations.
 ///
+/// Membership ([`contains`](Self::contains)) and
+/// [`remove`](Self::remove) — the per-bus-operation hot path, executed by
+/// every replica in a column — are O(1) through a hash index; the FIFO
+/// arrival order needed for overflow eviction lives in a queue of
+/// stamp-tagged entries with *lazy deletion*: `remove` only drops the
+/// index entry, and the dead queue slot is skipped at eviction time (and
+/// swept out wholesale once dead slots dominate). The stamp makes a
+/// remove-then-reinsert safe — the reinserted line gets a fresh stamp, so
+/// its stale old slot can never be mistaken for the live one.
+///
 /// # Example
 ///
 /// ```
@@ -48,12 +58,29 @@ pub enum MltInsert {
 /// assert!(mlt.contains(&LineAddr::new(2)));
 /// assert!(!mlt.contains(&LineAddr::new(1)));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ModifiedLineTable {
     capacity: usize,
-    // FIFO order; small in tests, hash-free keeps replicas comparable.
-    entries: VecDeque<LineAddr>,
+    /// FIFO arrival order as `(line, stamp)`; a slot is live iff the index
+    /// still maps the line to the same stamp.
+    queue: VecDeque<(LineAddr, u64)>,
+    /// Live membership: line → stamp of its current queue slot.
+    index: LineMap<u64>,
+    /// Monotonic insertion stamp.
+    stamp: u64,
 }
+
+/// Replica equality is *logical*: same capacity and same live entries in
+/// the same FIFO order. Dead queue slots and stamp values are storage
+/// artifacts — two replicas that saw the same INSERT/REMOVE stream must
+/// compare equal even if their compaction histories differ.
+impl PartialEq for ModifiedLineTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.capacity == other.capacity && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for ModifiedLineTable {}
 
 impl ModifiedLineTable {
     /// Creates a table holding at most `capacity` entries.
@@ -65,7 +92,9 @@ impl ModifiedLineTable {
         assert!(capacity > 0, "modified line table needs capacity");
         ModifiedLineTable {
             capacity,
-            entries: VecDeque::new(),
+            queue: VecDeque::new(),
+            index: LineMap::default(),
+            stamp: 0,
         }
     }
 
@@ -76,17 +105,17 @@ impl ModifiedLineTable {
 
     /// Current number of entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.index.len()
     }
 
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.index.is_empty()
     }
 
     /// Whether `line` is recorded as modified in this column.
     pub fn contains(&self, line: &LineAddr) -> bool {
-        self.entries.contains(line)
+        self.index.contains_key(line)
     }
 
     /// Inserts `line`, evicting the oldest entry on overflow.
@@ -94,19 +123,22 @@ impl ModifiedLineTable {
     /// Inserting an already-present address refreshes nothing and reports
     /// [`MltInsert::Inserted`] (the table is a set).
     pub fn insert(&mut self, line: LineAddr) -> MltInsert {
-        if self.entries.contains(&line) {
+        if self.index.contains_key(&line) {
             return MltInsert::Inserted;
         }
-        if self.entries.len() >= self.capacity {
-            let victim = self
-                .entries
-                .pop_front()
-                .expect("full table has a front entry");
-            self.entries.push_back(line);
-            return MltInsert::Overflow(victim);
+        let victim = if self.index.len() >= self.capacity {
+            Some(self.pop_oldest().expect("full table has a live entry"))
+        } else {
+            None
+        };
+        self.stamp += 1;
+        self.index.insert(line, self.stamp);
+        self.queue.push_back((line, self.stamp));
+        self.maybe_compact();
+        match victim {
+            Some(v) => MltInsert::Overflow(v),
+            None => MltInsert::Inserted,
         }
-        self.entries.push_back(line);
-        MltInsert::Inserted
     }
 
     /// Removes `line`; returns whether it was present.
@@ -115,22 +147,44 @@ impl ModifiedLineTable {
     /// `READ (COLUMN, REQUEST, REMOVE)` a losing racer observes
     /// `remove failed` and reissues its request.
     pub fn remove(&mut self, line: &LineAddr) -> bool {
-        if let Some(pos) = self.entries.iter().position(|e| e == line) {
-            self.entries.remove(pos);
-            true
-        } else {
-            false
-        }
+        // Lazy deletion: the queue slot stays behind as a dead entry and is
+        // skipped at eviction (or swept by compaction).
+        self.index.remove(line).is_some()
     }
 
     /// Iterates over the entries, oldest first.
     pub fn iter(&self) -> impl Iterator<Item = &LineAddr> {
-        self.entries.iter()
+        self.queue
+            .iter()
+            .filter(|(l, s)| self.index.get(l) == Some(s))
+            .map(|(l, _)| l)
     }
 
     /// Removes every entry.
     pub fn clear(&mut self) {
-        self.entries.clear();
+        self.queue.clear();
+        self.index.clear();
+    }
+
+    /// Pops and returns the oldest *live* entry, discarding any dead slots
+    /// in front of it.
+    fn pop_oldest(&mut self) -> Option<LineAddr> {
+        while let Some((line, s)) = self.queue.pop_front() {
+            if self.index.get(&line) == Some(&s) {
+                self.index.remove(&line);
+                return Some(line);
+            }
+        }
+        None
+    }
+
+    /// Sweeps dead slots once they outnumber live entries by enough that
+    /// the queue no longer amortizes to O(capacity) storage.
+    fn maybe_compact(&mut self) {
+        if self.queue.len() > self.index.len() * 2 + 16 {
+            let index = &self.index;
+            self.queue.retain(|(l, s)| index.get(l) == Some(s));
+        }
     }
 }
 
@@ -194,6 +248,64 @@ mod tests {
             }
         }
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reinsert_after_remove_rejoins_at_the_back() {
+        // A remove-then-reinsert must not inherit the line's old FIFO slot:
+        // the stale dead slot at the front would otherwise evict line 1 as
+        // if it were oldest.
+        let mut mlt = ModifiedLineTable::new(2);
+        mlt.insert(line(1));
+        mlt.insert(line(2));
+        assert!(mlt.remove(&line(1)));
+        mlt.insert(line(1)); // rejoins behind line 2
+        assert_eq!(mlt.insert(line(3)), MltInsert::Overflow(line(2)));
+        let held: Vec<_> = mlt.iter().copied().collect();
+        assert_eq!(held, vec![line(1), line(3)]);
+    }
+
+    #[test]
+    fn heavy_churn_keeps_queue_bounded_and_order_right() {
+        let mut mlt = ModifiedLineTable::new(8);
+        for i in 0..10_000u64 {
+            mlt.insert(line(i % 64));
+            mlt.remove(&line((i * 7) % 64));
+        }
+        assert!(mlt.len() <= 8);
+        // Compaction must keep dead slots from accumulating without bound.
+        assert!(
+            mlt.queue.len() <= mlt.index.len() * 2 + 16,
+            "queue {} live {}",
+            mlt.queue.len(),
+            mlt.index.len()
+        );
+        // iter() yields exactly the live lines.
+        assert_eq!(mlt.iter().count(), mlt.len());
+        for l in mlt.iter() {
+            assert!(mlt.contains(l));
+        }
+    }
+
+    #[test]
+    fn logical_equality_ignores_dead_slots() {
+        // Same INSERT/REMOVE stream, but `a` churns extra entries through
+        // first so its queue carries different dead slots and stamps.
+        let mut a = ModifiedLineTable::new(4);
+        a.insert(line(90));
+        a.insert(line(91));
+        a.remove(&line(90));
+        a.remove(&line(91));
+        let mut b = ModifiedLineTable::new(4);
+        for l in [1u64, 2, 3] {
+            a.insert(line(l));
+            b.insert(line(l));
+        }
+        a.remove(&line(2));
+        b.remove(&line(2));
+        assert_eq!(a, b);
+        b.insert(line(2));
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -29,11 +29,13 @@
 //! assert!(q.pop().is_none());
 //! ```
 
+pub mod hash;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use queue::EventQueue;
 pub use rng::DeterministicRng;
 pub use time::{SimDuration, SimTime};
