@@ -9,7 +9,9 @@
 //!   fig4      Figure 4: effect of block size, 1K processors
 //!   latency   E-5.1: §5 latency-reduction techniques
 //!   costs     T-6.1: bus operations per transaction class
-//!   scaling   T-6.2: §6 Multicube scaling formulas
+//!   scaling   T-6.2: §6 Multicube scaling formulas + the measured
+//!             1024-processor scaling study (writes BENCH_scaling.json;
+//!             override the path with --scaling-out)
 //!   sync      E-4.1: lock traffic, spinning vs distributed queue
 //!   baseline  E-1.1: single-bus multi vs Multicube
 //!   ablations A-1..A-3: MLT sizing, signal-drop robustness, snarfing
@@ -22,9 +24,11 @@
 
 use multicube_bench::{
     baseline_rows, costs_table, fault_sweep_rows, mlt_rows, render_bus_telemetry,
-    render_class_stats, render_fault_sweep, render_resilience, render_series,
-    render_series_utilization, robustness_rows, scaling_rows, sim_figure2, sim_figure3,
-    sim_figure4, sim_latency_modes, snarf_rows, sync_rows, SweepConfig,
+    render_class_stats, render_failures, render_fault_sweep, render_resilience,
+    render_scaling_json, render_scaling_study, render_series, render_series_utilization,
+    robustness_rows, run_scaling_study, scaling_rows, series_view, sim_figure2, sim_figure3,
+    sim_figure4, sim_latency_modes, snarf_rows, sync_rows, Pool, ScalingStudyConfig, SimSeries,
+    SweepConfig,
 };
 use multicube_mva::figures as mva;
 
@@ -33,6 +37,11 @@ struct Options {
     txns: Option<u64>,
     /// Directory to additionally write per-figure CSV files into.
     csv: Option<std::path::PathBuf>,
+    /// Where the scaling study writes its JSON artifact.
+    scaling_out: std::path::PathBuf,
+    /// The worker pool every sweep fans out through
+    /// (MULTICUBE_POOL_WORKERS overrides the worker count).
+    pool: Pool,
 }
 
 impl Options {
@@ -42,6 +51,15 @@ impl Options {
             let path = dir.join(format!("{name}.csv"));
             multicube_bench::write_series_csv(&path, series).expect("write csv");
             eprintln!("wrote {}", path.display());
+        }
+    }
+
+    /// Prints any contained sweep-point failures for a figure (a panicked
+    /// point no longer aborts the figure; it is reported here instead).
+    fn report_failures(&self, title: &str, sims: &[SimSeries]) {
+        let text = render_failures(title, sims);
+        if !text.is_empty() {
+            eprint!("{text}");
         }
     }
 }
@@ -85,8 +103,10 @@ fn fig2(opts: &Options) {
     );
     opts.maybe_csv("fig2_model", &model);
     let sides = grid_sides(opts);
-    let series = sim_figure2(&sides, &sweep(opts));
+    let sims = sim_figure2(&opts.pool, &sides, &sweep(opts));
+    let series = series_view(&sims);
     println!("{}", render_series("Figure 2 (simulated)", &series));
+    opts.report_failures("Figure 2 (simulated)", &sims);
     opts.maybe_csv("fig2_sim", &series);
 }
 
@@ -100,7 +120,13 @@ fn fig3(opts: &Options) {
         )
     );
     opts.maybe_csv("fig3_model", &model);
-    let series = sim_figure3(&[0.1, 0.2, 0.3, 0.4, 0.5], big_side(opts), &sweep(opts));
+    let sims = sim_figure3(
+        &opts.pool,
+        &[0.1, 0.2, 0.3, 0.4, 0.5],
+        big_side(opts),
+        &sweep(opts),
+    );
+    let series = series_view(&sims);
     println!(
         "{}",
         render_series(
@@ -115,6 +141,7 @@ fn fig3(opts: &Options) {
             &series
         )
     );
+    opts.report_failures("Figure 3 (simulated)", &sims);
 }
 
 fn fig4(opts: &Options) {
@@ -135,8 +162,15 @@ fn fig4(opts: &Options) {
         );
     }
     println!();
-    let series = sim_figure4(&[4, 8, 16, 32, 64], big_side(opts), &sweep(opts));
+    let sims = sim_figure4(
+        &opts.pool,
+        &[4, 8, 16, 32, 64],
+        big_side(opts),
+        &sweep(opts),
+    );
+    let series = series_view(&sims);
     println!("{}", render_series("Figure 4 (simulated)", &series));
+    opts.report_failures("Figure 4 (simulated)", &sims);
     opts.maybe_csv("fig4_sim", &series);
 }
 
@@ -148,8 +182,12 @@ fn latency(opts: &Options) {
             &mva::latency_modes()
         )
     );
-    let series = sim_latency_modes(big_side(opts).min(16), &sweep(opts));
-    println!("{}", render_series("E-5.1 (simulated)", &series));
+    let sims = sim_latency_modes(&opts.pool, big_side(opts).min(16), &sweep(opts));
+    println!(
+        "{}",
+        render_series("E-5.1 (simulated)", &series_view(&sims))
+    );
+    opts.report_failures("E-5.1 (simulated)", &sims);
 }
 
 fn costs(opts: &Options) {
@@ -172,7 +210,12 @@ fn costs(opts: &Options) {
     println!();
 }
 
-fn scaling(_opts: &Options) {
+fn scaling(opts: &Options) {
+    scaling_formulas();
+    scaling_study(opts);
+}
+
+fn scaling_formulas() {
     println!("== T-6.2: Multicube scaling (buses = k*n^(k-1), bw/proc = k/n) ==");
     println!(
         "{:>4} {:>3} {:>10} {:>7} {:>10} {:>10} {:>12} {:>10}",
@@ -192,6 +235,25 @@ fn scaling(_opts: &Options) {
         );
     }
     println!();
+}
+
+/// The measured scaling study: the full n ∈ {8,16,24,32} (64–1024
+/// processor) efficiency + utilization sweep, written as
+/// `BENCH_scaling.json` alongside the printed table.
+fn scaling_study(opts: &Options) {
+    let mut cfg = if opts.quick {
+        ScalingStudyConfig::quick()
+    } else {
+        ScalingStudyConfig::full()
+    };
+    if let Some(t) = opts.txns {
+        cfg.txns_per_node = t;
+    }
+    let study = run_scaling_study(&opts.pool, &cfg);
+    println!("{}", render_scaling_study(&study));
+    let json = render_scaling_json(&study);
+    std::fs::write(&opts.scaling_out, &json).expect("write scaling json");
+    eprintln!("wrote {}", opts.scaling_out.display());
 }
 
 fn sync(opts: &Options) {
@@ -287,7 +349,7 @@ fn faults(opts: &Options) {
     let n = if opts.quick { 4 } else { 8 };
     let txns = opts.txns.unwrap_or(60);
     let probs = [0.0, 0.1, 0.25, 0.5, 0.75];
-    let rows = fault_sweep_rows(n, &probs, txns);
+    let sweep = fault_sweep_rows(&opts.pool, n, &probs, txns);
     println!(
         "{}",
         render_fault_sweep(
@@ -295,13 +357,16 @@ fn faults(opts: &Options) {
                 "A-2+: composite fault sweep (n = {n}; drop p, loss p/2, dup p/4, \
                  nack p/4, mlt-delay p/4, blackout p/8; backoff 100ns..25us)"
             ),
-            &rows
+            &sweep.rows
         )
     );
+    for f in &sweep.failures {
+        eprintln!("!! fault-sweep point failed: {f}");
+    }
     if let Some(dir) = &opts.csv {
         std::fs::create_dir_all(dir).expect("create csv dir");
         let path = dir.join("fault_sweep.csv");
-        multicube_bench::write_fault_sweep_csv(&path, &rows).expect("write csv");
+        multicube_bench::write_fault_sweep_csv(&path, &sweep.rows).expect("write csv");
         eprintln!("wrote {}", path.display());
     }
 }
@@ -383,6 +448,8 @@ fn main() {
         quick: false,
         txns: None,
         csv: None,
+        scaling_out: std::path::PathBuf::from("BENCH_scaling.json"),
+        pool: Pool::from_env(),
     };
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -397,6 +464,12 @@ fn main() {
             "--csv" => {
                 opts.csv = it.next().map(std::path::PathBuf::from);
                 assert!(opts.csv.is_some(), "--csv needs a directory");
+            }
+            "--scaling-out" => {
+                opts.scaling_out = it
+                    .next()
+                    .map(std::path::PathBuf::from)
+                    .expect("--scaling-out needs a path");
             }
             c if !c.starts_with('-') => command = c.to_string(),
             other => panic!("unknown flag {other}"),

@@ -70,7 +70,10 @@ fn main() -> ExitCode {
         cfg.repeats,
         if cfg.quick { "quick" } else { "full" }
     );
-    let results = run_all(&cfg);
+    let (results, failures) = run_all(&cfg);
+    for f in &failures {
+        eprintln!("  {f}");
+    }
     for r in &results {
         let speedup = baseline
             .as_deref()
@@ -88,15 +91,27 @@ fn main() -> ExitCode {
         );
     }
     let json = render_json(&cfg, &results, baseline.as_deref());
-    if let Err(e) = validate_report(&json) {
-        eprintln!("perf: internal error, generated report fails validation: {e}");
-        return ExitCode::FAILURE;
+    // A panicked kernel leaves a partial report: still write it (the
+    // surviving kernels' numbers are good), but fail the run — partial
+    // reports must never validate as committed numbers.
+    if failures.is_empty() {
+        if let Err(e) = validate_report(&json) {
+            eprintln!("perf: internal error, generated report fails validation: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("perf: cannot write {out_path}: {e}");
         return ExitCode::FAILURE;
     }
     eprintln!("perf: wrote {out_path}");
+    if !failures.is_empty() {
+        eprintln!(
+            "perf: {} kernel(s) panicked; report incomplete",
+            failures.len()
+        );
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }
 

@@ -278,7 +278,13 @@ mod tests {
 
     #[test]
     fn fault_sweep_csv_has_one_row_per_probability() {
-        let rows = crate::tables::fault_sweep_rows(3, &[0.0, 0.25], 15);
+        let rows = crate::tables::fault_sweep_rows(
+            &multicube_sim::pool::Pool::serial(),
+            3,
+            &[0.0, 0.25],
+            15,
+        )
+        .rows;
         let dir = std::env::temp_dir().join("multicube_fault_csv_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("faults.csv");

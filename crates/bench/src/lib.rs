@@ -14,16 +14,25 @@
 
 pub mod csv;
 pub mod perf;
+pub mod scaling;
 pub mod simfig;
 pub mod tables;
 
 pub use csv::{
     write_bus_telemetry_csv, write_class_stats_csv, write_fault_sweep_csv, write_series_csv,
 };
-pub use simfig::{sim_figure2, sim_figure3, sim_figure4, sim_latency_modes, SweepConfig};
+pub use multicube_sim::pool::Pool;
+pub use scaling::{
+    render_scaling_json, render_scaling_study, run_scaling_study, validate_scaling_report,
+    ScalingPoint, ScalingStudy, ScalingStudyConfig, SCALING_SCHEMA,
+};
+pub use simfig::{
+    collect_failures, render_failures, series_view, sim_figure2, sim_figure3, sim_figure4,
+    sim_latency_modes, sim_series, PointFailure, SimSeries, SweepConfig,
+};
 pub use tables::{
-    baseline_rows, costs_table, fault_sweep_rows, mlt_rows, render_bus_telemetry,
+    baseline_rows, costs_table, fault_sweep_rows, fault_sweep_seed, mlt_rows, render_bus_telemetry,
     render_class_stats, render_fault_sweep, render_resilience, render_series,
     render_series_utilization, robustness_rows, scaling_rows, snarf_rows, sweep_plan, sync_rows,
-    BaselineRow, CostRow, FaultSweepRow, MltRow, RobustnessRow, SnarfRow, SyncRow,
+    BaselineRow, CostRow, FaultSweep, FaultSweepRow, MltRow, RobustnessRow, SnarfRow, SyncRow,
 };

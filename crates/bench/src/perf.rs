@@ -29,6 +29,7 @@ use std::time::Instant;
 
 use multicube::{FaultPlan, Machine, MachineConfig, Request, SyntheticSpec};
 use multicube_mem::LineAddr;
+use multicube_sim::pool::Pool;
 use multicube_topology::NodeId;
 
 /// Identifies the JSON layout; bump when the schema changes shape.
@@ -185,29 +186,69 @@ fn kernel_faulted_run(quick: bool) -> u64 {
     report.transactions_completed
 }
 
-/// Runs every kernel and collects the results.
-pub fn run_all(cfg: &PerfConfig) -> Vec<KernelResult> {
+/// One kernel whose body panicked: the harness reports it and keeps the
+/// other kernels' numbers instead of aborting the whole report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelFailure {
+    /// Kernel name.
+    pub name: &'static str,
+    /// The contained panic payload.
+    pub message: String,
+}
+
+impl std::fmt::Display for KernelFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "kernel {} panicked: {}", self.name, self.message)
+    }
+}
+
+/// Runs every kernel and collects the results, in kernel order.
+///
+/// Kernels run as jobs on a **serial** pool: wall-clock timing forbids
+/// concurrency (parallel passes would contend for the cores being
+/// measured), so the pool contributes its other two guarantees — stable
+/// result ordering and per-kernel panic containment. A kernel that
+/// panics becomes a [`KernelFailure`]; the remaining kernels still
+/// measure and report.
+pub fn run_all(cfg: &PerfConfig) -> (Vec<KernelResult>, Vec<KernelFailure>) {
     let quick = cfg.quick;
-    vec![
-        measure(
-            cfg,
+    type Body = Box<dyn FnMut() -> u64 + Send>;
+    let kernels: Vec<(&'static str, &'static str, Body)> = vec![
+        (
             "machine_1k_transactions",
             "1000 mixed read/write transactions on a 4x4 grid, drained to quiescence",
-            move || kernel_machine_1k(quick),
+            Box::new(move || kernel_machine_1k(quick)),
         ),
-        measure(
-            cfg,
+        (
             "synthetic_sweep",
             "closed-loop Figure-2 workload at 10 and 25 req/ms/proc on a 4x4 grid",
-            move || kernel_synthetic_sweep(quick),
+            Box::new(move || kernel_synthetic_sweep(quick)),
         ),
-        measure(
-            cfg,
+        (
             "faulted_run",
             "synthetic workload under a composite fault plan (drop/loss/dup/nack)",
-            move || kernel_faulted_run(quick),
+            Box::new(move || kernel_faulted_run(quick)),
         ),
-    ]
+    ];
+    let names: Vec<&'static str> = kernels.iter().map(|(name, _, _)| *name).collect();
+    let outcomes = Pool::serial().run(
+        kernels
+            .into_iter()
+            .map(|(name, work, body)| move |_id| measure(cfg, name, work, body))
+            .collect::<Vec<_>>(),
+    );
+    let mut results = Vec::new();
+    let mut failures = Vec::new();
+    for (name, outcome) in names.into_iter().zip(outcomes) {
+        match outcome {
+            Ok(r) => results.push(r),
+            Err(panic) => failures.push(KernelFailure {
+                name,
+                message: panic.message,
+            }),
+        }
+    }
+    (results, failures)
 }
 
 /// A `(kernel name, median_ns)` pair extracted from a previous report.
@@ -365,7 +406,8 @@ mod tests {
             repeats: 2,
             quick: true,
         };
-        let results = run_all(&cfg);
+        let (results, failures) = run_all(&cfg);
+        assert!(failures.is_empty(), "{failures:?}");
         assert_eq!(results.len(), 3);
         let json = render_json(&cfg, &results, None);
         validate_report(&json).unwrap();

@@ -1,0 +1,353 @@
+//! The 1024-processor scaling study: the paper's headline claim, measured.
+//!
+//! §1 proposes a 32×32 grid of 1024 processors; Figure 2 sweeps n =
+//! 8..32. This module runs the full cross product — every grid side
+//! against every request rate — on the deterministic worker pool,
+//! recording efficiency *and* bus utilization per point, and emits the
+//! results both as a table (`figures -- scaling`) and as a committed JSON
+//! artifact (`BENCH_scaling.json`) so scaling regressions are diffable in
+//! review.
+//!
+//! Seeds follow the workspace splitting scheme: point seeds derive from
+//! `(study seed, stream_id("scaling", "n=<side>"), rate index)`, so the
+//! study shares no RNG stream with the figure sweeps even at the default
+//! base seed.
+
+use multicube::{Machine, MachineConfig, SyntheticSpec};
+use multicube_sim::pool::Pool;
+use multicube_sim::{split_seed, stream_id};
+use std::fmt::Write as _;
+
+use crate::simfig::PointFailure;
+
+/// Identifies the JSON layout; bump when the schema changes shape.
+pub const SCALING_SCHEMA: &str = "multicube-bench-scaling/v1";
+
+/// The harness namespace folded into every point seed.
+const NAMESPACE: &str = "scaling";
+
+/// Study parameters: which machines, which operating points.
+#[derive(Debug, Clone)]
+pub struct ScalingStudyConfig {
+    /// Grid sides to sweep (`n` ⇒ `n²` processors).
+    pub ns: Vec<u32>,
+    /// Offered request rates (requests/ms/processor) per machine.
+    pub rates: Vec<f64>,
+    /// Blocking requests issued per processor at each point.
+    pub txns_per_node: u64,
+    /// Base RNG seed of the study.
+    pub seed: u64,
+}
+
+impl ScalingStudyConfig {
+    /// The full study: the paper's n ∈ {8, 16, 24, 32} (64 to 1024
+    /// processors) across the Figure 2 rate grid.
+    pub fn full() -> Self {
+        ScalingStudyConfig {
+            ns: vec![8, 16, 24, 32],
+            rates: vec![2.0, 6.0, 10.0, 15.0, 20.0, 25.0, 30.0],
+            txns_per_node: 40,
+            seed: 0x5EED,
+        }
+    }
+
+    /// The CI smoke study: small grids, three rates, few transactions.
+    pub fn quick() -> Self {
+        ScalingStudyConfig {
+            ns: vec![4, 8],
+            rates: vec![2.0, 10.0, 25.0],
+            txns_per_node: 15,
+            seed: 0x5EED,
+        }
+    }
+
+    /// The seed for one `(grid side, rate index)` point of this study.
+    pub fn point_seed(&self, n: u32, index: usize) -> u64 {
+        split_seed(
+            self.seed,
+            stream_id(NAMESPACE, &format!("n={n}")),
+            index as u64,
+        )
+    }
+}
+
+/// One measured operating point of the study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingPoint {
+    /// Grid side.
+    pub n: u32,
+    /// Total processors (`n²`).
+    pub processors: u32,
+    /// Offered request rate (requests/ms/processor).
+    pub rate_per_ms: f64,
+    /// The derived per-point seed (replay coordinates).
+    pub seed: u64,
+    /// Processor efficiency (think / (think + blocked)).
+    pub efficiency: f64,
+    /// Efficiency × processors: the machine's effective parallelism at
+    /// this operating point — the number the paper's speedup claim is
+    /// about.
+    pub effective_processors: f64,
+    /// Mean row-bus utilization.
+    pub rho_row: f64,
+    /// Mean column-bus utilization.
+    pub rho_col: f64,
+    /// Bus operations per completed transaction.
+    pub ops_per_txn: f64,
+    /// Transactions completed (must equal `processors × txns_per_node`).
+    pub completed: u64,
+}
+
+/// The study's outcome: measured points in `(n, rate)` order plus any
+/// contained per-point failures.
+#[derive(Debug, Clone)]
+pub struct ScalingStudy {
+    /// The configuration the study ran under.
+    pub config: ScalingStudyConfig,
+    /// Measured points, ordered by grid side then rate.
+    pub points: Vec<ScalingPoint>,
+    /// Points that panicked, with replay coordinates.
+    pub failures: Vec<PointFailure>,
+}
+
+/// Runs the study's full `(n, rate)` matrix on the pool.
+pub fn run_scaling_study(pool: &Pool, config: &ScalingStudyConfig) -> ScalingStudy {
+    let jobs: Vec<(u32, usize, f64)> = config
+        .ns
+        .iter()
+        .flat_map(|&n| {
+            config
+                .rates
+                .iter()
+                .enumerate()
+                .map(move |(i, &r)| (n, i, r))
+        })
+        .collect();
+    let txns = config.txns_per_node;
+    let results = pool.map(jobs.clone(), |_, (n, i, rate)| {
+        let seed = config.point_seed(n, i);
+        let machine_config = MachineConfig::grid(n).expect("valid grid side");
+        let spec = SyntheticSpec::default().with_request_rate_per_ms(rate);
+        let mut m = Machine::new(machine_config, seed).expect("valid configuration");
+        let report = m.run_synthetic(&spec, txns);
+        ScalingPoint {
+            n,
+            processors: n * n,
+            rate_per_ms: rate,
+            seed,
+            efficiency: report.efficiency,
+            effective_processors: report.efficiency * f64::from(n * n),
+            rho_row: report.utilization.row_mean,
+            rho_col: report.utilization.col_mean,
+            ops_per_txn: report.ops_per_transaction(),
+            completed: report.transactions_completed,
+        }
+    });
+    let mut points = Vec::new();
+    let mut failures = Vec::new();
+    for ((n, i, rate), result) in jobs.into_iter().zip(results) {
+        match result {
+            Ok(p) => points.push(p),
+            Err(panic) => failures.push(PointFailure {
+                series: format!("n={n}"),
+                index: i,
+                rate_per_ms: rate,
+                seed: config.point_seed(n, i),
+                message: panic.message,
+            }),
+        }
+    }
+    ScalingStudy {
+        config: config.clone(),
+        points,
+        failures,
+    }
+}
+
+/// Renders the study as ASCII tables: one efficiency/utilization block per
+/// grid side, then the effective-parallelism summary across sides.
+pub fn render_scaling_study(study: &ScalingStudy) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== Scaling study: efficiency and bus utilization, n = {} ==",
+        study
+            .config
+            .ns
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join("/")
+    );
+    let _ = writeln!(
+        out,
+        "{:>4} {:>6} {:>8} {:>11} {:>11} {:>8} {:>8} {:>9} {:>10}",
+        "n",
+        "procs",
+        "rate/ms",
+        "efficiency",
+        "eff procs",
+        "rho row",
+        "rho col",
+        "ops/txn",
+        "completed"
+    );
+    for p in &study.points {
+        let _ = writeln!(
+            out,
+            "{:>4} {:>6} {:>8.1} {:>11.4} {:>11.1} {:>8.4} {:>8.4} {:>9.2} {:>10}",
+            p.n,
+            p.processors,
+            p.rate_per_ms,
+            p.efficiency,
+            p.effective_processors,
+            p.rho_row,
+            p.rho_col,
+            p.ops_per_txn,
+            p.completed
+        );
+    }
+    for f in &study.failures {
+        let _ = writeln!(out, "!! failed point: {f}");
+    }
+    out
+}
+
+/// Renders the study as the `BENCH_scaling.json` artifact.
+pub fn render_scaling_json(study: &ScalingStudy) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{SCALING_SCHEMA}\",");
+    let _ = writeln!(out, "  \"seed\": {},", study.config.seed);
+    let _ = writeln!(out, "  \"txns_per_node\": {},", study.config.txns_per_node);
+    let ns: Vec<String> = study.config.ns.iter().map(|n| n.to_string()).collect();
+    let _ = writeln!(out, "  \"ns\": [{}],", ns.join(", "));
+    let rates: Vec<String> = study.config.rates.iter().map(|r| r.to_string()).collect();
+    let _ = writeln!(out, "  \"rates_per_ms\": [{}],", rates.join(", "));
+    let _ = writeln!(out, "  \"failures\": {},", study.failures.len());
+    out.push_str("  \"points\": [\n");
+    for (i, p) in study.points.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"n\": {},", p.n);
+        let _ = writeln!(out, "      \"processors\": {},", p.processors);
+        let _ = writeln!(out, "      \"rate_per_ms\": {},", p.rate_per_ms);
+        let _ = writeln!(out, "      \"seed\": {},", p.seed);
+        let _ = writeln!(out, "      \"efficiency\": {:.6},", p.efficiency);
+        let _ = writeln!(
+            out,
+            "      \"effective_processors\": {:.2},",
+            p.effective_processors
+        );
+        let _ = writeln!(out, "      \"rho_row\": {:.6},", p.rho_row);
+        let _ = writeln!(out, "      \"rho_col\": {:.6},", p.rho_col);
+        let _ = writeln!(out, "      \"ops_per_txn\": {:.4},", p.ops_per_txn);
+        let _ = writeln!(out, "      \"completed\": {}", p.completed);
+        out.push_str(if i + 1 == study.points.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+/// Validates that `text` looks like a scaling report this module wrote:
+/// the schema marker, one point per configured `(n, rate)` pair, and no
+/// recorded failures.
+///
+/// # Errors
+///
+/// A human-readable description of the first problem found.
+pub fn validate_scaling_report(text: &str, config: &ScalingStudyConfig) -> Result<(), String> {
+    if !text.contains(&format!("\"schema\": \"{SCALING_SCHEMA}\"")) {
+        return Err(format!("missing schema marker {SCALING_SCHEMA}"));
+    }
+    let expected = config.ns.len() * config.rates.len();
+    let got = text.matches("\"efficiency\":").count();
+    if got != expected {
+        return Err(format!("expected {expected} points, found {got}"));
+    }
+    if !text.contains("\"failures\": 0") {
+        return Err("report records contained point failures".to_string());
+    }
+    for n in &config.ns {
+        if !text.contains(&format!("\"n\": {n},")) {
+            return Err(format!("missing grid side n={n}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ScalingStudyConfig {
+        ScalingStudyConfig {
+            ns: vec![2, 4],
+            rates: vec![5.0, 25.0],
+            txns_per_node: 8,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn study_covers_the_full_matrix_in_order() {
+        let study = run_scaling_study(&Pool::serial(), &tiny());
+        assert!(study.failures.is_empty());
+        let shape: Vec<(u32, f64)> = study.points.iter().map(|p| (p.n, p.rate_per_ms)).collect();
+        assert_eq!(shape, vec![(2, 5.0), (2, 25.0), (4, 5.0), (4, 25.0)]);
+        for p in &study.points {
+            assert_eq!(p.completed, u64::from(p.processors) * 8);
+            assert!(p.efficiency > 0.0 && p.efficiency <= 1.0);
+            assert_eq!(
+                p.seed,
+                tiny().point_seed(p.n, usize::from(p.rate_per_ms > 5.0))
+            );
+        }
+    }
+
+    #[test]
+    fn bigger_machines_scale_effective_processors() {
+        let study = run_scaling_study(&Pool::serial(), &tiny());
+        let small = &study.points[0]; // n=2 at 5 req/ms
+        let large = &study.points[2]; // n=4 at 5 req/ms
+        assert!(large.effective_processors > small.effective_processors * 2.0);
+    }
+
+    #[test]
+    fn study_seeds_are_disjoint_from_figure_sweeps() {
+        let cfg = ScalingStudyConfig::full();
+        let sweep = crate::simfig::SweepConfig::default();
+        // Same base seed (0x5EED), same label shape ("n=8"), same index —
+        // different namespace, therefore a different stream.
+        assert_ne!(
+            cfg.point_seed(8, 0),
+            sweep.point_seed(multicube_sim::stream_id("fig2", "n=8"), 0)
+        );
+    }
+
+    #[test]
+    fn json_roundtrips_and_validates() {
+        let cfg = tiny();
+        let study = run_scaling_study(&Pool::serial(), &cfg);
+        let json = render_scaling_json(&study);
+        validate_scaling_report(&json, &cfg).unwrap();
+        let wrong = ScalingStudyConfig {
+            ns: vec![2, 4, 8],
+            ..cfg
+        };
+        assert!(validate_scaling_report(&json, &wrong).is_err());
+        assert!(validate_scaling_report("{}", &tiny()).is_err());
+    }
+
+    #[test]
+    fn render_has_a_row_per_point() {
+        let study = run_scaling_study(&Pool::serial(), &tiny());
+        let text = render_scaling_study(&study);
+        assert!(text.contains("== Scaling study"));
+        assert_eq!(text.lines().count(), 2 + study.points.len());
+    }
+}

@@ -8,9 +8,13 @@ use multicube::{
 use multicube_baseline::SingleBusMulti;
 use multicube_mem::LineAddr;
 use multicube_mva::FigureSeries;
+use multicube_sim::pool::Pool;
+use multicube_sim::{split_seed, stream_id};
 use multicube_sync::{LockExperiment, QueueLock, SpinLock};
 use multicube_topology::scaling::{ScalingReport, TransactionCostBounds};
 use multicube_topology::Multicube;
+
+use crate::simfig::PointFailure;
 
 /// One measured row of the T-6.1 protocol-cost table.
 #[derive(Debug, Clone)]
@@ -546,49 +550,85 @@ pub fn sweep_plan(p: f64) -> FaultPlan {
         .with_blackout(p / 8.0, 2_000)
 }
 
+/// The base seed and per-series stream of the composite fault sweep.
+///
+/// The stream is namespaced (`"faults"` + the grid side) via the workspace
+/// seed-splitting scheme, so the sweep shares no RNG stream with the
+/// figure harnesses even though they all default to base seed `0x5EED`.
+pub fn fault_sweep_seed(n: u32, index: usize) -> u64 {
+    split_seed(0x5EED, stream_id("faults", &format!("n={n}")), index as u64)
+}
+
+/// The composite fault sweep's outcome: rows in probability order, plus
+/// any contained per-point failures (a `FailFast` watchdog panic, say)
+/// with replay coordinates.
+#[derive(Debug, Clone)]
+pub struct FaultSweep {
+    /// Measured rows, one per requested probability that completed.
+    pub rows: Vec<FaultSweepRow>,
+    /// Probabilities whose run panicked, with replay coordinates.
+    pub failures: Vec<PointFailure>,
+}
+
 /// Sweeps the composite fault probability on an `n x n` machine — the §3
 /// robustness claim measured under every fault class at once. Each run
 /// must complete every transaction and pass the coherence checker; the
 /// sweep quantifies what that resilience *costs* in latency and retries.
-pub fn fault_sweep_rows(n: u32, probs: &[f64], txns: u64) -> Vec<FaultSweepRow> {
-    probs
-        .iter()
-        .map(|&p| {
-            let config = MachineConfig::grid(n)
-                .unwrap()
-                .with_fault_plan(sweep_plan(p))
-                .with_retry_policy(RetryPolicy::default().with_backoff(100, 25_000));
-            let spec = SyntheticSpec::default().with_request_rate_per_ms(15.0);
-            let mut m = Machine::new(config, 53).unwrap();
-            let report = m.run_synthetic(&spec, txns);
-            let met = &report.metrics;
-            let (retries, max_retries, backoff_ns) =
-                met.classes()
-                    .iter()
-                    .fold((0u64, 0u32, 0u64), |(r, mx, b), (_, s)| {
-                        (
-                            r + s.retries.get(),
-                            mx.max(s.max_retries),
-                            b + s.backoff_ns.get(),
-                        )
-                    });
-            FaultSweepRow {
-                probability: p,
-                efficiency: report.efficiency,
-                mean_latency_ns: report.mean_latency_ns,
-                retries,
-                max_retries,
-                backoff_ns,
-                lost_ops: met.lost_ops.get(),
-                duplicated_ops: met.duplicated_ops.get(),
-                memory_nacks: met.memory_nacks.get(),
-                mlt_delays: met.mlt_delays.get(),
-                blackouts: met.blackouts.get(),
-                watchdog_trips: met.watchdog_trips.get(),
-                completed: report.transactions_completed,
-            }
-        })
-        .collect()
+///
+/// Points fan out over the worker pool; a panicking point is contained as
+/// a [`PointFailure`] and the remaining rows still report.
+pub fn fault_sweep_rows(pool: &Pool, n: u32, probs: &[f64], txns: u64) -> FaultSweep {
+    let jobs: Vec<(usize, f64)> = probs.iter().copied().enumerate().collect();
+    let results = pool.map(jobs, |_, (i, p)| {
+        let config = MachineConfig::grid(n)
+            .unwrap()
+            .with_fault_plan(sweep_plan(p))
+            .with_retry_policy(RetryPolicy::default().with_backoff(100, 25_000));
+        let spec = SyntheticSpec::default().with_request_rate_per_ms(15.0);
+        let mut m = Machine::new(config, fault_sweep_seed(n, i)).unwrap();
+        let report = m.run_synthetic(&spec, txns);
+        let met = &report.metrics;
+        let (retries, max_retries, backoff_ns) =
+            met.classes()
+                .iter()
+                .fold((0u64, 0u32, 0u64), |(r, mx, b), (_, s)| {
+                    (
+                        r + s.retries.get(),
+                        mx.max(s.max_retries),
+                        b + s.backoff_ns.get(),
+                    )
+                });
+        FaultSweepRow {
+            probability: p,
+            efficiency: report.efficiency,
+            mean_latency_ns: report.mean_latency_ns,
+            retries,
+            max_retries,
+            backoff_ns,
+            lost_ops: met.lost_ops.get(),
+            duplicated_ops: met.duplicated_ops.get(),
+            memory_nacks: met.memory_nacks.get(),
+            mlt_delays: met.mlt_delays.get(),
+            blackouts: met.blackouts.get(),
+            watchdog_trips: met.watchdog_trips.get(),
+            completed: report.transactions_completed,
+        }
+    });
+    let mut rows = Vec::new();
+    let mut failures = Vec::new();
+    for (i, result) in results.into_iter().enumerate() {
+        match result {
+            Ok(row) => rows.push(row),
+            Err(panic) => failures.push(PointFailure {
+                series: format!("faults n={n}"),
+                index: i,
+                rate_per_ms: 15.0,
+                seed: fault_sweep_seed(n, i),
+                message: panic.message,
+            }),
+        }
+    }
+    FaultSweep { rows, failures }
 }
 
 /// Renders the composite fault sweep as an ASCII table.
@@ -734,7 +774,9 @@ mod ablation_tests {
 
     #[test]
     fn fault_sweep_completes_everything_and_costs_retries() {
-        let rows = fault_sweep_rows(4, &[0.0, 0.5], 40);
+        let sweep = fault_sweep_rows(&Pool::serial(), 4, &[0.0, 0.5], 40);
+        assert!(sweep.failures.is_empty());
+        let rows = sweep.rows;
         assert_eq!(rows.len(), 2);
         for r in &rows {
             assert_eq!(r.completed, 40 * 16, "every transaction completes");
@@ -749,7 +791,7 @@ mod ablation_tests {
 
     #[test]
     fn fault_sweep_render_has_all_columns() {
-        let rows = fault_sweep_rows(4, &[0.25], 20);
+        let rows = fault_sweep_rows(&Pool::serial(), 4, &[0.25], 20).rows;
         let text = render_fault_sweep("faults", &rows);
         assert!(text.contains("== faults =="));
         assert!(text.contains("efficiency"));

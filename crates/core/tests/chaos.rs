@@ -150,30 +150,43 @@ proptest! {
     }
 }
 
-/// Deterministic fault-plan replay: identical (config, seed) gives a
-/// byte-identical trace and an identical run report — for more than one
-/// plan shape.
-#[test]
-fn faulted_runs_are_deterministic() {
-    let plans = [
+/// The chaos suite's multi-plan fault runs, shared by the determinism
+/// tests below: one traced machine run per plan.
+fn plan_trace(plan: &FaultPlan) -> (Vec<multicube::trace::TraceEvent>, String) {
+    let config = MachineConfig::grid(3)
+        .unwrap()
+        .with_fault_plan(*plan)
+        .with_retry_policy(RetryPolicy::default().with_backoff(100, 10_000));
+    let mut m = Machine::new(config, 1234).unwrap();
+    m.set_trace_sink(TraceSink::ring(1 << 16));
+    let report = m.run_synthetic(&multicube::SyntheticSpec::default(), 20);
+    (m.trace_events(), format!("{report}"))
+}
+
+fn multi_plans() -> Vec<FaultPlan> {
+    vec![
         plan_of(20, 25, 30, 20),
         FaultPlan::default()
             .with_op_duplicate(0.3)
             .with_blackout(0.05, 2_000),
-    ];
-    for (i, plan) in plans.iter().enumerate() {
-        let run = || {
-            let config = MachineConfig::grid(3)
-                .unwrap()
-                .with_fault_plan(*plan)
-                .with_retry_policy(RetryPolicy::default().with_backoff(100, 10_000));
-            let mut m = Machine::new(config, 1234).unwrap();
-            m.set_trace_sink(TraceSink::ring(1 << 16));
-            let report = m.run_synthetic(&multicube::SyntheticSpec::default(), 20);
-            (m.trace_events(), format!("{report}"))
-        };
-        let (trace_a, report_a) = run();
-        let (trace_b, report_b) = run();
+    ]
+}
+
+/// Deterministic fault-plan replay: identical (config, seed) gives a
+/// byte-identical trace and an identical run report — for more than one
+/// plan shape. The multi-plan fan-out runs on the worker pool, so this
+/// also exercises plan runs executing concurrently.
+#[test]
+fn faulted_runs_are_deterministic() {
+    let plans = multi_plans();
+    let pool = multicube_sim::Pool::from_env();
+    // Two replays of every plan, fanned out as independent pool jobs.
+    let jobs: Vec<FaultPlan> = plans.iter().chain(plans.iter()).copied().collect();
+    let results = pool.map(jobs, |_, plan| plan_trace(&plan));
+    let results: Vec<_> = results.into_iter().map(|r| r.expect("plan run")).collect();
+    for (i, _) in plans.iter().enumerate() {
+        let (trace_a, report_a) = &results[i];
+        let (trace_b, report_b) = &results[i + plans.len()];
         assert!(!trace_a.is_empty(), "plan {i} produced no trace events");
         assert_eq!(trace_a, trace_b, "plan {i} trace diverged across replays");
         assert_eq!(
@@ -181,6 +194,36 @@ fn faulted_runs_are_deterministic() {
             "plan {i} report diverged across replays"
         );
     }
+}
+
+/// Worker-count invariance: the multi-plan chaos traces are byte-identical
+/// whether the pool runs them on 1 worker, 2, or the machine default —
+/// fingerprinted with md5 like the CI cross-check.
+#[test]
+fn chaos_plan_traces_are_worker_count_invariant() {
+    let plans = multi_plans();
+    let fingerprint = |pool: &multicube_sim::Pool| -> Vec<String> {
+        pool.map(plans.clone(), |_, plan| plan_trace(&plan))
+            .into_iter()
+            .map(|r| {
+                let (trace, report) = r.expect("plan run");
+                let mut bytes = Vec::new();
+                for ev in &trace {
+                    bytes.extend_from_slice(format!("{ev:?}\n").as_bytes());
+                }
+                bytes.extend_from_slice(report.as_bytes());
+                multicube_sim::md5_hex(&bytes)
+            })
+            .collect()
+    };
+    let serial = fingerprint(&multicube_sim::Pool::new(1));
+    let two = fingerprint(&multicube_sim::Pool::new(2));
+    let default = fingerprint(&multicube_sim::Pool::from_env());
+    assert_eq!(serial, two, "traces diverged between 1 and 2 workers");
+    assert_eq!(
+        serial, default,
+        "traces diverged at the default worker count"
+    );
 }
 
 /// The negative watchdog test: a retry budget of 1 is deliberately below

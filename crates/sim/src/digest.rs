@@ -1,0 +1,142 @@
+//! A small, dependency-free MD5 (RFC 1321) for determinism fingerprints.
+//!
+//! Determinism tests and the CI cross-check job compare whole rendered
+//! artifacts — figure tables, CSV files, trace streams — across worker
+//! counts and replays. Comparing 128-bit digests keeps the assertions and
+//! their failure output readable ("md5 mismatch" with two short hex
+//! strings) where raw byte equality on multi-megabyte traces is not, and
+//! lets a shell cross-check (`md5sum`) agree with the in-process one.
+//!
+//! MD5 is used strictly as a *fingerprint* here — the inputs are the
+//! harness's own outputs, never adversarial, so MD5's cryptographic
+//! brokenness is irrelevant and its ubiquity (every CI image has
+//! `md5sum`) is the point.
+
+/// Per-round shift amounts, S11..S44 of RFC 1321.
+const S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, //
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, //
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, //
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+];
+
+/// The sine-derived additive constants, K[i] = floor(2^32 * |sin(i+1)|).
+const K: [u32; 64] = [
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613, 0xfd469501,
+    0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821,
+    0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a,
+    0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+    0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+    0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
+];
+
+/// Processes one 64-byte block into the running state.
+fn compress(state: &mut [u32; 4], block: &[u8]) {
+    debug_assert_eq!(block.len(), 64);
+    let mut m = [0u32; 16];
+    for (i, w) in m.iter_mut().enumerate() {
+        *w = u32::from_le_bytes(block[i * 4..i * 4 + 4].try_into().unwrap());
+    }
+    let [mut a, mut b, mut c, mut d] = *state;
+    for i in 0..64 {
+        let (f, g) = match i / 16 {
+            0 => ((b & c) | (!b & d), i),
+            1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+            2 => (b ^ c ^ d, (3 * i + 5) % 16),
+            _ => (c ^ (b | !d), (7 * i) % 16),
+        };
+        let tmp = d;
+        d = c;
+        c = b;
+        b = b.wrapping_add(
+            a.wrapping_add(f)
+                .wrapping_add(K[i])
+                .wrapping_add(m[g])
+                .rotate_left(S[i]),
+        );
+        a = tmp;
+    }
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+}
+
+/// The MD5 digest of `bytes`, as 16 raw bytes.
+pub fn md5(bytes: &[u8]) -> [u8; 16] {
+    let mut state: [u32; 4] = [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476];
+    let mut chunks = bytes.chunks_exact(64);
+    for block in &mut chunks {
+        compress(&mut state, block);
+    }
+    // Padding: 0x80, zeros, then the bit length as a little-endian u64.
+    let mut tail = Vec::with_capacity(128);
+    tail.extend_from_slice(chunks.remainder());
+    tail.push(0x80);
+    while tail.len() % 64 != 56 {
+        tail.push(0);
+    }
+    tail.extend_from_slice(&((bytes.len() as u64).wrapping_mul(8)).to_le_bytes());
+    for block in tail.chunks_exact(64) {
+        compress(&mut state, block);
+    }
+    let mut out = [0u8; 16];
+    for (i, w) in state.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+/// The MD5 digest of `bytes` as a lowercase hex string — the format
+/// `md5sum` prints, so in-process fingerprints and shell cross-checks are
+/// directly comparable.
+pub fn md5_hex(bytes: &[u8]) -> String {
+    md5(bytes).iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The RFC 1321 appendix A.5 test suite.
+    #[test]
+    fn rfc1321_vectors() {
+        let vectors: [(&str, &str); 7] = [
+            ("", "d41d8cd98f00b204e9800998ecf8427e"),
+            ("a", "0cc175b9c0f1b6a831c399e269772661"),
+            ("abc", "900150983cd24fb0d6963f7d28e17f72"),
+            ("message digest", "f96b697d7cb7938d525a2f31aaf161d0"),
+            (
+                "abcdefghijklmnopqrstuvwxyz",
+                "c3fcd3d76192e4007dfb496cca67e13b",
+            ),
+            (
+                "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+                "d174ab98d277d9f5a5611c2c9f419d9f",
+            ),
+            (
+                "12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+                "57edf4a22be3c955ac49da2e2107b67a",
+            ),
+        ];
+        for (input, want) in vectors {
+            assert_eq!(md5_hex(input.as_bytes()), want, "input {input:?}");
+        }
+    }
+
+    /// Lengths straddling the block/padding boundaries (55, 56, 63, 64,
+    /// 65 bytes) exercise every padding branch.
+    #[test]
+    fn padding_boundaries_differ_and_are_stable() {
+        let mut seen = std::collections::HashSet::new();
+        for len in [0usize, 1, 55, 56, 57, 63, 64, 65, 127, 128, 1000] {
+            let data = vec![0xabu8; len];
+            let hex = md5_hex(&data);
+            assert_eq!(hex.len(), 32);
+            assert_eq!(hex, md5_hex(&data), "stable at len {len}");
+            assert!(seen.insert(hex), "digest collision at len {len}");
+        }
+    }
+}

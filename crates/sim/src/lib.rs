@@ -2,8 +2,11 @@
 //!
 //! This crate provides the substrate every simulator in the workspace is built
 //! on: a monotonic simulated clock ([`SimTime`]), a stable priority event
-//! queue ([`EventQueue`]), statistics accumulators ([`stats`]), and a
-//! deterministic random-number source ([`rng`]).
+//! queue ([`EventQueue`]), statistics accumulators ([`stats`]), a
+//! deterministic random-number source ([`rng`]) with seed splitting for
+//! sweep matrices ([`split_seed`]), and a bounded worker pool with
+//! deterministic job ordering and panic containment ([`pool`]) that every
+//! sweep harness fans out through.
 //!
 //! The kernel is deliberately *typed*: the machine model owns an event enum
 //! and dispatches it itself, instead of the kernel invoking boxed callbacks.
@@ -29,13 +32,17 @@
 //! assert!(q.pop().is_none());
 //! ```
 
+pub mod digest;
 pub mod hash;
+pub mod pool;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use digest::md5_hex;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use pool::{JobId, JobPanic, Pool};
 pub use queue::EventQueue;
-pub use rng::DeterministicRng;
+pub use rng::{split_seed, stream_id, DeterministicRng};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,297 @@
+//! A bounded worker pool with deterministic job ordering and panic
+//! containment — the execution layer under every sweep harness.
+//!
+//! Every figure, fault sweep and perf harness in the workspace fans a
+//! matrix of independent simulation runs out over threads. Doing that with
+//! ad-hoc `thread::scope` spawns has three failure modes this module
+//! removes:
+//!
+//! 1. **Unbounded spawn.** One thread per sweep point means a 4-series ×
+//!    7-rate figure starts 28 OS threads at once. The pool runs at most
+//!    [`Pool::workers`] threads and feeds them jobs from a shared queue.
+//! 2. **Nondeterministic output.** Results are collected by stable
+//!    [`JobId`] — the job's index in the submission order — so the output
+//!    vector is byte-identical whether the pool runs on 1 worker or 16.
+//!    Scheduling order may differ; observable results may not.
+//! 3. **Panic amplification.** `handle.join().expect(..)` turns one
+//!    panicking sweep point into a lost figure. Here every job body runs
+//!    under [`std::panic::catch_unwind`]; a panic becomes a per-job
+//!    [`JobPanic`] carrying the payload message, and every other job still
+//!    completes and reports.
+//!
+//! Seed discipline is the callers' half of the determinism contract: jobs
+//! must not share mutable state or draw from a common RNG. Derive one
+//! stream per job with [`crate::rng::split_seed`] and the job becomes a
+//! pure function of its inputs, which is what makes worker-count
+//! invariance more than a scheduling accident.
+//!
+//! # Example
+//!
+//! ```
+//! use multicube_sim::pool::Pool;
+//!
+//! let pool = Pool::new(4);
+//! let results = pool.run((0..8).map(|i| move |_id| i * i).collect::<Vec<_>>());
+//! let squares: Vec<u64> = results.into_iter().map(|r| r.unwrap()).collect();
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the default worker count.
+///
+/// CI uses this to cross-check determinism: the same sweep is run with
+/// `MULTICUBE_POOL_WORKERS=1` and with the hardware default, and the
+/// outputs are diffed byte for byte.
+pub const WORKERS_ENV: &str = "MULTICUBE_POOL_WORKERS";
+
+/// A job's stable identity: its index in the submission order.
+///
+/// Results are collected by `JobId`, never by completion order, so the
+/// output of [`Pool::run`] is independent of scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub usize);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// A contained panic from one job: the job's identity plus the panic
+/// payload rendered as text (`&str` and `String` payloads verbatim,
+/// anything else as a placeholder).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Which job panicked.
+    pub job: JobId,
+    /// The panic payload, for the caller's error report.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} panicked: {}", self.job, self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// Renders a panic payload as text.
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The bounded deterministic worker pool. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    workers: usize,
+}
+
+impl Pool {
+    /// A pool running at most `workers` jobs concurrently (clamped to at
+    /// least 1).
+    pub fn new(workers: usize) -> Self {
+        Pool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// A single-worker pool: jobs run inline on the caller's thread, in
+    /// `JobId` order. The timing-sensitive `perf` harness uses this so the
+    /// pool contributes ordering and containment without concurrency.
+    pub fn serial() -> Self {
+        Pool::new(1)
+    }
+
+    /// The default pool: [`WORKERS_ENV`] if set and parseable, otherwise
+    /// the machine's available parallelism.
+    pub fn from_env() -> Self {
+        let configured = std::env::var(WORKERS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&w| w > 0);
+        let workers = configured.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        Pool::new(workers)
+    }
+
+    /// The concurrency bound.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs every job and returns the results **in submission order**:
+    /// `results[i]` is job `i`'s return value, or the [`JobPanic`] that
+    /// ended it. Each closure receives its own [`JobId`].
+    pub fn run<T, F>(&self, jobs: Vec<F>) -> Vec<Result<T, JobPanic>>
+    where
+        T: Send,
+        F: FnOnce(JobId) -> T + Send,
+    {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let run_one = |id: usize, job: F| -> Result<T, JobPanic> {
+            catch_unwind(AssertUnwindSafe(|| job(JobId(id)))).map_err(|payload| JobPanic {
+                job: JobId(id),
+                message: payload_message(payload),
+            })
+        };
+        if self.workers == 1 || n == 1 {
+            // Inline fast path: no threads, identical results by
+            // construction (the contract the threaded path is tested
+            // against).
+            return jobs
+                .into_iter()
+                .enumerate()
+                .map(|(i, job)| run_one(i, job))
+                .collect();
+        }
+
+        let queue: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<T, JobPanic>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers.min(n) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        return;
+                    }
+                    let job = queue[i].lock().unwrap().take().expect("job claimed once");
+                    let result = run_one(i, job);
+                    *slots[i].lock().unwrap() = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().unwrap().expect("every job ran"))
+            .collect()
+    }
+
+    /// Maps `f` over `items` on the pool; `results[i]` corresponds to
+    /// `items[i]`. A convenience over [`Pool::run`] for the common
+    /// sweep-over-a-parameter-list shape.
+    pub fn map<I, T, F>(&self, items: Vec<I>, f: F) -> Vec<Result<T, JobPanic>>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(JobId, I) -> T + Sync,
+    {
+        let f = &f;
+        self.run(
+            items
+                .into_iter()
+                .map(|item| move |id: JobId| f(id, item))
+                .collect(),
+        )
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_follow_submission_order_at_every_worker_count() {
+        // Jobs finish in scrambled wall-clock order (later jobs sleep
+        // less); the result vector must not care.
+        for workers in [1usize, 2, 3, 8, 64] {
+            let pool = Pool::new(workers);
+            let jobs: Vec<_> = (0..16u64)
+                .map(|i| {
+                    move |id: JobId| {
+                        std::thread::sleep(std::time::Duration::from_micros((16 - i) * 50));
+                        (id.0 as u64, i * 10)
+                    }
+                })
+                .collect();
+            let out: Vec<(u64, u64)> = pool.run(jobs).into_iter().map(|r| r.unwrap()).collect();
+            let expect: Vec<(u64, u64)> = (0..16u64).map(|i| (i, i * 10)).collect();
+            assert_eq!(out, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn a_panicking_job_is_contained() {
+        for workers in [1usize, 4] {
+            let pool = Pool::new(workers);
+            let results = pool.map((0..6u32).collect(), |_, i| {
+                if i == 3 {
+                    panic!("poisoned job {i}");
+                }
+                i * 2
+            });
+            assert_eq!(results.len(), 6);
+            for (i, r) in results.iter().enumerate() {
+                if i == 3 {
+                    let err = r.as_ref().unwrap_err();
+                    assert_eq!(err.job, JobId(3));
+                    assert!(err.message.contains("poisoned job 3"), "{}", err.message);
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i as u32 * 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn string_and_str_payloads_are_preserved() {
+        let pool = Pool::serial();
+        let results = pool.run(vec![
+            |_id: JobId| -> u32 { panic!("static str") },
+            |_id: JobId| -> u32 { panic!("formatted {}", 7) },
+        ]);
+        assert_eq!(results[0].as_ref().unwrap_err().message, "static str");
+        assert_eq!(results[1].as_ref().unwrap_err().message, "formatted 7");
+    }
+
+    #[test]
+    fn empty_and_singleton_job_lists() {
+        let pool = Pool::new(4);
+        let none: Vec<Result<u32, JobPanic>> = pool.run(Vec::<fn(JobId) -> u32>::new());
+        assert!(none.is_empty());
+        let one = pool.run(vec![|id: JobId| id.0 + 41]);
+        assert_eq!(*one[0].as_ref().unwrap(), 41);
+    }
+
+    #[test]
+    fn worker_count_is_clamped_and_reported() {
+        assert_eq!(Pool::new(0).workers(), 1);
+        assert_eq!(Pool::new(7).workers(), 7);
+        assert_eq!(Pool::serial().workers(), 1);
+        assert!(Pool::from_env().workers() >= 1);
+    }
+
+    #[test]
+    fn map_preserves_item_order() {
+        let pool = Pool::new(3);
+        let out: Vec<String> = pool
+            .map(vec!["a", "bb", "ccc"], |id, s| format!("{id}:{s}"))
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(out, vec!["job0:a", "job1:bb", "job2:ccc"]);
+    }
+}
