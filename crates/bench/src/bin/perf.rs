@@ -1,22 +1,31 @@
 //! `perf` — the reproducible core-performance harness.
 //!
 //! ```text
-//! perf [--quick] [--out PATH] [--baseline PATH]
+//! perf [--quick] [--out PATH] [--baseline PATH] [--guard]
 //! ```
 //!
 //! Runs the core kernels (see `multicube_bench::perf`) with warmup and
-//! repeats, and writes median/MAD results as JSON (default
+//! repeats, and writes median/MAD/p90 results as JSON (default
 //! `BENCH_core.json` in the current directory). `--baseline` embeds a
-//! previous report's medians and the speedup against them.
+//! previous report's medians and the speedup against them. `--guard`
+//! additionally fails the run when `machine_1k_transactions` regresses
+//! more than `MULTICUBE_PERF_GUARD_PCT` percent (default 25) against the
+//! baseline, comparing per work unit so `--quick` runs measure against
+//! full-mode baselines.
 
 use std::process::ExitCode;
 
 use multicube_bench::perf::{
-    extract_kernel_medians, render_json, run_all, validate_report, PerfConfig,
+    check_regression_guard, extract_kernel_medians, render_json, run_all, validate_report,
+    PerfConfig,
 };
+
+/// The kernel the CI regression guard watches.
+const GUARD_KERNEL: &str = "machine_1k_transactions";
 
 fn main() -> ExitCode {
     let mut quick = false;
+    let mut guard_enabled = false;
     let mut out_path = String::from("BENCH_core.json");
     let mut baseline_path: Option<String> = None;
 
@@ -24,6 +33,7 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--guard" => guard_enabled = true,
             "--out" => match args.next() {
                 Some(p) => out_path = p,
                 None => return usage("--out needs a path"),
@@ -33,13 +43,17 @@ fn main() -> ExitCode {
                 None => return usage("--baseline needs a path"),
             },
             "--help" | "-h" => {
-                println!("usage: perf [--quick] [--out PATH] [--baseline PATH]");
+                println!("usage: perf [--quick] [--out PATH] [--baseline PATH] [--guard]");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument `{other}`")),
         }
     }
+    if guard_enabled && baseline_path.is_none() {
+        return usage("--guard needs --baseline");
+    }
 
+    let mut baseline_text = None;
     let baseline = match &baseline_path {
         Some(p) => match std::fs::read_to_string(p) {
             Ok(text) => {
@@ -48,6 +62,7 @@ fn main() -> ExitCode {
                     eprintln!("perf: no kernel medians found in baseline {p}");
                     return ExitCode::FAILURE;
                 }
+                baseline_text = Some(text);
                 Some(medians)
             }
             Err(e) => {
@@ -64,8 +79,7 @@ fn main() -> ExitCode {
         PerfConfig::full()
     };
     eprintln!(
-        "perf: running {} kernels ({} warmup + {} repeats each, {} mode)",
-        3,
+        "perf: running kernels ({} warmup + {} repeats each, {} mode)",
         cfg.warmup,
         cfg.repeats,
         if cfg.quick { "quick" } else { "full" }
@@ -86,8 +100,8 @@ fn main() -> ExitCode {
             })
             .unwrap_or_default();
         eprintln!(
-            "  {:<28} median {:>12} ns  mad {:>10} ns{}",
-            r.name, r.median_ns, r.mad_ns, speedup
+            "  {:<28} median {:>12} ns  mad {:>10} ns  p90 {:>12} ns  outliers {}{}",
+            r.name, r.median_ns, r.mad_ns, r.p90_ns, r.outliers, speedup
         );
     }
     let json = render_json(&cfg, &results, baseline.as_deref());
@@ -112,10 +126,24 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    if guard_enabled {
+        let threshold = std::env::var("MULTICUBE_PERF_GUARD_PCT")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(25.0);
+        let base_text = baseline_text.as_deref().expect("guard requires baseline");
+        match check_regression_guard(&json, base_text, GUARD_KERNEL, threshold) {
+            Ok(msg) => eprintln!("perf: {msg}"),
+            Err(msg) => {
+                eprintln!("perf: REGRESSION: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
 }
 
 fn usage(msg: &str) -> ExitCode {
-    eprintln!("perf: {msg}\nusage: perf [--quick] [--out PATH] [--baseline PATH]");
+    eprintln!("perf: {msg}\nusage: perf [--quick] [--out PATH] [--baseline PATH] [--guard]");
     ExitCode::FAILURE
 }

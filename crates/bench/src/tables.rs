@@ -258,6 +258,10 @@ pub fn render_bus_telemetry(title: &str, report: &multicube::RunReport) -> Strin
             b.queue_high_water
         ));
     }
+    out.push_str(&format!(
+        "event queue: {} scheduled, {} delivered, high-water {}\n",
+        report.events_scheduled, report.events_delivered, report.event_queue_high_water
+    ));
     out
 }
 

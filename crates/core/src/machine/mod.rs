@@ -195,6 +195,13 @@ pub struct Machine {
     /// Sampling support: all currently owned lines.
     pub(crate) owned_list: Vec<LineAddr>,
     pub(crate) metrics: MachineMetrics,
+    /// Batched same-timestamp drain: `pop_batch` fills this with every
+    /// event due at one instant in one wheel touch; `batch_pos` is the
+    /// read cursor. Events a handler schedules for the same instant land
+    /// behind the batch in FIFO order, exactly as one-at-a-time popping
+    /// would deliver them.
+    batch: Vec<Event>,
+    batch_pos: usize,
     completions: VecDeque<Completion>,
     pub(crate) synthetic: Option<SyntheticState>,
     /// Structured trace destination, chosen once at construction.
@@ -253,6 +260,8 @@ impl Machine {
             lines: LineMap::default(),
             owned_list: Vec::new(),
             metrics: MachineMetrics::default(),
+            batch: Vec::new(),
+            batch_pos: 0,
             completions: VecDeque::new(),
             synthetic: None,
             trace: TraceSink::from_env(),
@@ -492,6 +501,27 @@ impl Machine {
         );
     }
 
+    /// The next event in delivery order: the current batch first, then one
+    /// batched wheel drain of the earliest pending instant. `None` at
+    /// quiescence.
+    #[inline]
+    pub(crate) fn next_event(&mut self) -> Option<Event> {
+        if let Some(ev) = self.batch.get(self.batch_pos) {
+            self.batch_pos += 1;
+            return Some(*ev);
+        }
+        self.batch.clear();
+        self.batch_pos = 1;
+        self.events.pop_batch(&mut self.batch)?;
+        Some(self.batch[0])
+    }
+
+    /// Whether any event is still pending (batched or in the wheel).
+    #[inline]
+    pub(crate) fn events_pending(&self) -> bool {
+        self.batch_pos < self.batch.len() || !self.events.is_empty()
+    }
+
     /// Processes events until a transaction completes, returning it;
     /// `None` when the machine goes quiescent first.
     pub fn advance(&mut self) -> Option<Completion> {
@@ -499,15 +529,17 @@ impl Machine {
             if let Some(done) = self.completions.pop_front() {
                 return Some(done);
             }
-            let (_, ev) = self.events.pop()?;
+            let ev = self.next_event()?;
             self.handle(ev);
         }
     }
 
-    /// Runs until no events remain, collecting every completion.
+    /// Runs until no events remain, collecting every completion in
+    /// delivery order (any completions already buffered are drained
+    /// first).
     pub fn run_to_quiescence(&mut self) -> Vec<Completion> {
         let mut out: Vec<Completion> = self.completions.drain(..).collect();
-        while let Some((_, ev)) = self.events.pop() {
+        while let Some(ev) = self.next_event() {
             self.handle(ev);
             out.extend(self.completions.drain(..));
         }

@@ -36,7 +36,7 @@ impl Machine {
         txns_per_node: u64,
     ) -> RunReport {
         assert!(
-            self.events.is_empty() && self.txns.is_empty(),
+            !self.events_pending() && self.txns.is_empty(),
             "run_synthetic requires a fresh machine"
         );
         let nn = (self.n * self.n) as usize;
@@ -49,7 +49,7 @@ impl Machine {
         for idx in 0..nn {
             self.schedule_next_issue(idx);
         }
-        while let Some((_, ev)) = self.events.pop() {
+        while let Some(ev) = self.next_event() {
             self.handle(ev);
         }
         if self.config.checking() {
@@ -245,6 +245,9 @@ impl Machine {
             row_bus_ops: row_ops,
             col_bus_ops: col_ops,
             buses,
+            events_scheduled: self.events.scheduled(),
+            events_delivered: self.events.delivered(),
+            event_queue_high_water: self.events.max_len(),
             metrics: self.metrics.clone(),
         }
     }

@@ -225,6 +225,12 @@ pub struct RunReport {
     /// Per-bus telemetry: utilization, op counts and queue high-water,
     /// rows first then columns.
     pub buses: Vec<BusReport>,
+    /// Events scheduled on the kernel event queue over the run.
+    pub events_scheduled: u64,
+    /// Events delivered by the kernel event queue over the run.
+    pub events_delivered: u64,
+    /// High-water mark of pending kernel events (peak queue pressure).
+    pub event_queue_high_water: usize,
     /// Full per-class metrics.
     pub metrics: MachineMetrics,
 }
@@ -262,13 +268,18 @@ impl core::fmt::Display for RunReport {
             self.utilization.col_mean,
             self.utilization.col_max
         )?;
-        write!(
+        writeln!(
             f,
             "  invalidations {}, memory bounces {}, retries: reads {} writes {}",
             self.metrics.invalidations.get(),
             self.metrics.memory_bounces.get(),
             self.metrics.read_unmodified.retries.get(),
             self.metrics.write_unmodified.retries.get()
+        )?;
+        write!(
+            f,
+            "  events: {} scheduled, {} delivered, queue high-water {}",
+            self.events_scheduled, self.events_delivered, self.event_queue_high_water
         )
     }
 }
@@ -366,11 +377,16 @@ mod display_tests {
             row_bus_ops: 320,
             col_bus_ops: 320,
             buses: Vec::new(),
+            events_scheduled: 480,
+            events_delivered: 480,
+            event_queue_high_water: 24,
             metrics: MachineMetrics::default(),
         };
         let text = report.to_string();
         assert!(text.contains("16 processors"));
         assert!(text.contains("efficiency 0.9500"));
         assert!(text.contains("invalidations 0"));
+        assert!(text.contains("480 scheduled"));
+        assert!(text.contains("queue high-water 24"));
     }
 }

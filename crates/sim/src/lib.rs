@@ -39,10 +39,12 @@ pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod wheel;
 
 pub use digest::md5_hex;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use pool::{JobId, JobPanic, Pool};
-pub use queue::EventQueue;
+pub use queue::{EventQueue, HeapQueue, QueueImpl};
 pub use rng::{split_seed, stream_id, DeterministicRng};
 pub use time::{SimDuration, SimTime};
+pub use wheel::TimingWheel;
