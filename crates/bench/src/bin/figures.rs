@@ -19,6 +19,9 @@
 //!   kdim      E-6.1: the k-dimensional Multicube model (§6 future work)
 //!   telemetry per-bus utilization/queueing + per-class latency histograms
 //!             and resilience counters (retries, backoff, watchdog)
+//!   shootout  protocol shootout — Multicube vs single-bus MESI vs Dragon
+//!             on identical seeded workloads (writes BENCH_shootout.csv;
+//!             override the path with --shootout-out)
 //!   all       everything above
 //! ```
 
@@ -26,9 +29,9 @@ use multicube_bench::{
     baseline_rows, costs_table, fault_sweep_rows, mlt_rows, render_bus_telemetry,
     render_class_stats, render_failures, render_fault_sweep, render_resilience,
     render_scaling_json, render_scaling_study, render_series, render_series_utilization,
-    robustness_rows, run_scaling_study, scaling_rows, series_view, sim_figure2, sim_figure3,
-    sim_figure4, sim_latency_modes, snarf_rows, sync_rows, Pool, ScalingStudyConfig, SimSeries,
-    SweepConfig,
+    render_shootout, robustness_rows, run_scaling_study, run_shootout, scaling_rows, series_view,
+    sim_figure2, sim_figure3, sim_figure4, sim_latency_modes, snarf_rows, sync_rows, Pool,
+    ScalingStudyConfig, SimSeries, SweepConfig,
 };
 use multicube_mva::figures as mva;
 
@@ -39,6 +42,8 @@ struct Options {
     csv: Option<std::path::PathBuf>,
     /// Where the scaling study writes its JSON artifact.
     scaling_out: std::path::PathBuf,
+    /// Where the protocol shootout writes its CSV artifact.
+    shootout_out: std::path::PathBuf,
     /// The worker pool every sweep fans out through
     /// (MULTICUBE_POOL_WORKERS overrides the worker count).
     pool: Pool,
@@ -441,6 +446,35 @@ fn telemetry(opts: &Options) {
     }
 }
 
+/// The protocol shootout: all three engines on identical seeded
+/// workloads, written as `BENCH_shootout.csv` alongside the printed
+/// table (see `multicube_bench::shootout` for the methodology).
+fn shootout(opts: &Options) {
+    let n = if opts.quick { 4 } else { 8 };
+    let s = run_shootout(&opts.pool, n, &sweep(opts));
+    println!(
+        "{}",
+        render_shootout(
+            &format!(
+                "Shootout: Multicube grid vs single-bus MESI vs single-bus Dragon \
+                 (n = {n}, identical workloads per rate)"
+            ),
+            &s
+        )
+    );
+    for f in &s.failures {
+        eprintln!("!! shootout point failed: {f}");
+    }
+    multicube_bench::write_shootout_csv(&opts.shootout_out, &s.rows).expect("write shootout csv");
+    eprintln!("wrote {}", opts.shootout_out.display());
+    if let Some(dir) = &opts.csv {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        let path = dir.join("shootout.csv");
+        multicube_bench::write_shootout_csv(&path, &s.rows).expect("write csv");
+        eprintln!("wrote {}", path.display());
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut command = String::from("all");
@@ -449,6 +483,7 @@ fn main() {
         txns: None,
         csv: None,
         scaling_out: std::path::PathBuf::from("BENCH_scaling.json"),
+        shootout_out: std::path::PathBuf::from("BENCH_shootout.csv"),
         pool: Pool::from_env(),
     };
     let mut it = args.iter().peekable();
@@ -471,6 +506,12 @@ fn main() {
                     .map(std::path::PathBuf::from)
                     .expect("--scaling-out needs a path");
             }
+            "--shootout-out" => {
+                opts.shootout_out = it
+                    .next()
+                    .map(std::path::PathBuf::from)
+                    .expect("--shootout-out needs a path");
+            }
             c if !c.starts_with('-') => command = c.to_string(),
             other => panic!("unknown flag {other}"),
         }
@@ -488,6 +529,7 @@ fn main() {
         "faults" => faults(&opts),
         "kdim" => kdim(&opts),
         "telemetry" => telemetry(&opts),
+        "shootout" => shootout(&opts),
         "all" => {
             fig2(&opts);
             fig3(&opts);
@@ -501,6 +543,7 @@ fn main() {
             faults(&opts);
             kdim(&opts);
             telemetry(&opts);
+            shootout(&opts);
         }
         other => panic!("unknown command {other}; see --help in the source header"),
     }

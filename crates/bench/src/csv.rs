@@ -129,6 +129,45 @@ pub fn write_class_stats_csv(path: &Path, report: &RunReport) -> std::io::Result
     Ok(())
 }
 
+/// Writes the protocol shootout: one row per `(engine, rate)` point,
+/// engines grouped in `EngineKind::all()` order so equal-rate rows from
+/// different engines are a fixed stride apart. The seed column makes the
+/// identical-workload guarantee auditable: rows at the same rate carry
+/// the same seed for every engine.
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating or writing the file.
+pub fn write_shootout_csv(
+    path: &Path,
+    rows: &[crate::shootout::ShootoutRow],
+) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(
+        f,
+        "engine,n,rate_per_ms,seed,efficiency,transactions,bus_ops_per_txn,\
+         invalidations,updates,mean_latency_ns,peak_bus_utilization"
+    )?;
+    for r in rows {
+        writeln!(
+            f,
+            "{},{},{},{:#x},{},{},{},{},{},{},{}",
+            r.engine,
+            r.n,
+            r.rate_per_ms,
+            r.seed,
+            r.efficiency,
+            r.transactions,
+            r.bus_ops_per_txn,
+            r.invalidations,
+            r.updates,
+            r.mean_latency_ns,
+            r.peak_bus_utilization
+        )?;
+    }
+    Ok(())
+}
+
 /// Writes the composite fault sweep: one row per fault probability with
 /// the measured completion latency, retry/backoff cost and per-class
 /// fault counters.

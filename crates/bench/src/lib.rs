@@ -15,17 +15,20 @@
 pub mod csv;
 pub mod perf;
 pub mod scaling;
+pub mod shootout;
 pub mod simfig;
 pub mod tables;
 
 pub use csv::{
     write_bus_telemetry_csv, write_class_stats_csv, write_fault_sweep_csv, write_series_csv,
+    write_shootout_csv,
 };
 pub use multicube_sim::pool::Pool;
 pub use scaling::{
     render_scaling_json, render_scaling_study, run_scaling_study, validate_scaling_report,
     ScalingPoint, ScalingStudy, ScalingStudyConfig, SCALING_SCHEMA,
 };
+pub use shootout::{render_shootout, run_shootout, shootout_point_seed, Shootout, ShootoutRow};
 pub use simfig::{
     collect_failures, render_failures, series_view, sim_figure2, sim_figure3, sim_figure4,
     sim_latency_modes, sim_series, PointFailure, SimSeries, SweepConfig,

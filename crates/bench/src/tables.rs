@@ -274,10 +274,10 @@ pub fn render_class_stats(title: &str, report: &multicube::RunReport) -> String 
         "{:<28} {:>8} {:>10} {:>12} {:>10} {:>10} {:>10}\n",
         "class", "count", "ops/txn", "latency ns", "p50 ns", "p90 ns", "p99 ns"
     ));
+    // Emit every class, including empty ones: `classes()` is a stable,
+    // protocol-independent set, so tables from different engines (the
+    // shootout) stay row-aligned and diffable.
     for (name, s) in report.metrics.classes() {
-        if s.count == 0 {
-            continue;
-        }
         let q = |q: f64| {
             s.latency_hist
                 .quantile(q)
@@ -684,10 +684,8 @@ pub fn render_resilience(title: &str, report: &multicube::RunReport) -> String {
         "{:<28} {:>8} {:>9} {:>11} {:>14}\n",
         "class", "count", "retries", "max retries", "backoff ns"
     ));
+    // Stable class set (see `render_class_stats`): empty classes print too.
     for (name, s) in report.metrics.classes() {
-        if s.count == 0 {
-            continue;
-        }
         out.push_str(&format!(
             "{:<28} {:>8} {:>9} {:>11} {:>14}\n",
             name,

@@ -16,6 +16,13 @@
 //! 7. **Escalation hygiene** — no watchdog escalation survives quiescence;
 //!    an escalated transaction that never finished means the fault-free
 //!    retry failed to make progress.
+//!
+//! [`check`] verifies the default Multicube engine. The single-bus arena
+//! engines have their own quiescent invariants — [`check_mesi`] and
+//! [`check_dragon`] — sharing the vocabulary above but differing on what
+//! "dirty" means (Dragon's shared-modified state keeps memory stale while
+//! copies are shared) and skipping the MLT, which only the Multicube
+//! protocol maintains.
 
 use core::fmt;
 
@@ -315,6 +322,255 @@ pub fn check(m: &Machine) -> Result<(), CoherenceViolation> {
     }
 
     // 8. No leaked watchdog escalations.
+    if let Some(txn) = m.escalated_txn() {
+        return Err(CoherenceViolation::EscalationLeak { txn });
+    }
+
+    Ok(())
+}
+
+/// Quiescent invariants of the single-bus MESI engine: single writer, a
+/// modified (`M`) or exclusive-clean (`E`) copy excludes all others,
+/// memory's valid bit is clear iff an `M` copy exists, every resident
+/// copy holds the latest committed version, and the `E` side table
+/// matches the caches.
+///
+/// # Errors
+///
+/// The first violation found.
+pub fn check_mesi(m: &Machine) -> Result<(), CoherenceViolation> {
+    check_arena(m, false)
+}
+
+/// Quiescent invariants of the single-bus Dragon engine: single writer,
+/// `M`/`E` copies are sole copies, the shared-modified (`Sm`) holder is a
+/// resident sharer, memory's valid bit is clear iff a dirty (`M` or `Sm`)
+/// copy exists, and — the write-update property — *every* resident copy
+/// holds the latest committed version even while shared.
+///
+/// # Errors
+///
+/// The first violation found.
+pub fn check_dragon(m: &Machine) -> Result<(), CoherenceViolation> {
+    check_arena(m, true)
+}
+
+/// Shared invariant walk for the two arena engines. `update_based`
+/// selects Dragon's dirty-shared (`Sm`) semantics.
+fn check_arena(m: &Machine, update_based: bool) -> Result<(), CoherenceViolation> {
+    let n = m.side();
+    // Gather per-line cache state.
+    let mut owners: LineMap<NodeId> = LineMap::default();
+    let mut sharers: LineMap<Vec<NodeId>> = LineMap::default();
+    let mut reserved: LineMap<Vec<NodeId>> = LineMap::default();
+    for node_idx in 0..(n * n) {
+        let node = NodeId::new(node_idx);
+        let ctrl = m.controller(node);
+        for (line, cl) in ctrl.cache.iter() {
+            match cl.mode {
+                LineMode::Modified => {
+                    if let Some(prev) = owners.insert(line, node) {
+                        return Err(CoherenceViolation::MultipleWriters {
+                            line,
+                            nodes: (prev, node),
+                        });
+                    }
+                }
+                LineMode::Shared => sharers.entry(line).or_default().push(node),
+                LineMode::Reserved => reserved.entry(line).or_default().push(node),
+            }
+        }
+    }
+
+    // Report in line-address order so failures are stable run to run.
+    let mut owned_lines: Vec<LineAddr> = owners.keys().copied().collect();
+    owned_lines.sort_unstable_by_key(|l| l.index());
+
+    // An M copy is the sole copy.
+    for &line in &owned_lines {
+        let owner = owners[&line];
+        if let Some(&sharer) = sharers.get(&line).and_then(|s| s.first()) {
+            return Err(CoherenceViolation::ModifiedWithSharers {
+                line,
+                owner,
+                sharer,
+            });
+        }
+        if let Some(&holder) = reserved.get(&line).and_then(|r| r.first()) {
+            return Err(CoherenceViolation::RegistryMismatch {
+                line,
+                detail: format!("{holder} holds an exclusive-clean copy alongside owner {owner}"),
+            });
+        }
+    }
+
+    // An E copy is the sole copy, and the side table matches the caches.
+    let mut reserved_lines: Vec<LineAddr> = reserved.keys().copied().collect();
+    reserved_lines.sort_unstable_by_key(|l| l.index());
+    for &line in &reserved_lines {
+        let holders = &reserved[&line];
+        if holders.len() > 1 {
+            return Err(CoherenceViolation::RegistryMismatch {
+                line,
+                detail: format!(
+                    "{} and {} both hold exclusive-clean copies",
+                    holders[0], holders[1]
+                ),
+            });
+        }
+        if let Some(&sharer) = sharers.get(&line).and_then(|s| s.first()) {
+            return Err(CoherenceViolation::RegistryMismatch {
+                line,
+                detail: format!(
+                    "{} holds an exclusive-clean copy alongside sharer {sharer}",
+                    holders[0]
+                ),
+            });
+        }
+        if m.arena_excl.get(&line) != Some(&holders[0]) {
+            return Err(CoherenceViolation::RegistryMismatch {
+                line,
+                detail: format!(
+                    "exclusive-clean holder {} missing from the E side table",
+                    holders[0]
+                ),
+            });
+        }
+    }
+    if let Some((line, node)) = m
+        .arena_excl
+        .iter()
+        .filter(|(l, _)| !reserved.contains_key(l))
+        .map(|(l, n)| (*l, *n))
+        .min_by_key(|(l, _)| l.index())
+    {
+        return Err(CoherenceViolation::RegistryMismatch {
+            line,
+            detail: format!("E side table claims {node} but no cache holds it exclusive-clean"),
+        });
+    }
+
+    // The Sm side table: a Dragon shared-modified holder must be a
+    // resident sharer; MESI must never populate it.
+    let mut sm_lines: Vec<LineAddr> = m.arena_sm.keys().copied().collect();
+    sm_lines.sort_unstable_by_key(|l| l.index());
+    for &line in &sm_lines {
+        let holder = m.arena_sm[&line];
+        if !update_based {
+            return Err(CoherenceViolation::RegistryMismatch {
+                line,
+                detail: format!("Sm side table claims {holder} under a write-invalidate engine"),
+            });
+        }
+        let is_sharer = sharers.get(&line).is_some_and(|s| s.contains(&holder));
+        if !is_sharer {
+            return Err(CoherenceViolation::RegistryMismatch {
+                line,
+                detail: format!("Sm holder {holder} does not hold the line shared"),
+            });
+        }
+    }
+
+    // Valid bit and value integrity over every line any structure knows.
+    let mut lines: LineSet = LineSet::default();
+    lines.extend(owners.keys().copied());
+    lines.extend(sharers.keys().copied());
+    lines.extend(reserved.keys().copied());
+    for col in 0..n {
+        for (line, _, _) in m.memory(col).touched_lines() {
+            lines.insert(line);
+        }
+    }
+    let mut lines: Vec<LineAddr> = lines.into_iter().collect();
+    lines.sort_unstable_by_key(|l| l.index());
+    for line in lines {
+        let col = m.home_column(line);
+        let memory_valid = m.memory(col).is_valid(&line);
+        let dirty = owners.contains_key(&line) || m.arena_sm.contains_key(&line);
+        if memory_valid == dirty {
+            return Err(CoherenceViolation::ValidBitMismatch {
+                line,
+                memory_valid,
+                has_owner: dirty,
+            });
+        }
+        let latest = m.committed_version(line);
+        if !dirty && m.memory(col).peek(&line) != latest {
+            return Err(CoherenceViolation::StaleValue {
+                line,
+                holder: format!("memory column {col}"),
+            });
+        }
+        // Every resident copy holds the latest committed version: under
+        // MESI because writers are sole holders, under Dragon because
+        // updates refresh every copy in place.
+        if let Some(&owner) = owners.get(&line) {
+            let held = m.controller(owner).data_of(&line);
+            if held != Some(latest) {
+                return Err(CoherenceViolation::StaleValue {
+                    line,
+                    holder: format!("owner {owner} holds {held:?}, expected {latest:?}"),
+                });
+            }
+        }
+        for holder in sharers
+            .get(&line)
+            .into_iter()
+            .flatten()
+            .chain(reserved.get(&line).into_iter().flatten())
+        {
+            let held = m.controller(*holder).data_of(&line);
+            if held != Some(latest) {
+                return Err(CoherenceViolation::StaleValue {
+                    line,
+                    holder: format!("{holder} holds {held:?}, expected {latest:?}"),
+                });
+            }
+        }
+    }
+
+    // The MLT is a Multicube structure; arena engines must leave every
+    // replica empty.
+    for node_idx in 0..(n * n) {
+        let node = NodeId::new(node_idx);
+        let ctrl = m.controller(node);
+        if let Some(&line) = ctrl.mlt.iter().next() {
+            return Err(CoherenceViolation::MltInconsistent {
+                col: node.index() % n,
+                detail: format!("arena engine populated the MLT at {node} with {line:?}"),
+            });
+        }
+        if let Some(l1) = ctrl.proc_cache.as_ref() {
+            for (line, _) in l1.iter() {
+                if !ctrl.cache.contains(&line) {
+                    return Err(CoherenceViolation::SubsetViolation { node, line });
+                }
+            }
+        }
+    }
+
+    // Registry sanity (both directions).
+    for &line in &owned_lines {
+        let node = owners[&line];
+        if m.registry_owner(line) != Some(node) {
+            return Err(CoherenceViolation::RegistryMismatch {
+                line,
+                detail: format!("cache owner {node} not in registry"),
+            });
+        }
+    }
+    if let Some((line, node)) = m
+        .registry_entries()
+        .filter(|(l, _)| !owners.contains_key(l))
+        .min_by_key(|(l, _)| l.index())
+    {
+        return Err(CoherenceViolation::RegistryMismatch {
+            line,
+            detail: format!("registry claims {node} but no cache holds it modified"),
+        });
+    }
+
+    // No leaked watchdog escalations.
     if let Some(txn) = m.escalated_txn() {
         return Err(CoherenceViolation::EscalationLeak { txn });
     }

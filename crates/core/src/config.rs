@@ -68,6 +68,46 @@ pub enum LatencyMode {
     },
 }
 
+/// Which coherence-protocol engine drives the machine.
+///
+/// The default [`EngineKind::Multicube`] engine implements the paper's
+/// Appendix-A protocol over the two-dimensional grid of row and column
+/// buses. The two rival engines model classic single-bus snooping
+/// protocols on bus 0 only, so the Multicube's bus hierarchy becomes the
+/// experimental variable in a shootout (`figures -- shootout`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineKind {
+    /// The paper's snooping write-invalidate protocol on the bus grid.
+    #[default]
+    Multicube,
+    /// Write-invalidate MESI on a single shared snooping bus.
+    Mesi,
+    /// Write-update Dragon on a single shared snooping bus.
+    Dragon,
+}
+
+impl EngineKind {
+    /// Stable lowercase identifier, used in CSV output and CLI labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Multicube => "multicube",
+            EngineKind::Mesi => "mesi",
+            EngineKind::Dragon => "dragon",
+        }
+    }
+
+    /// All engines, in shootout order.
+    pub fn all() -> [EngineKind; 3] {
+        [EngineKind::Multicube, EngineKind::Mesi, EngineKind::Dragon]
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Errors from validating a [`MachineConfig`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum MachineConfigError {
@@ -80,6 +120,12 @@ pub enum MachineConfigError {
     /// A fault-plan or retry-policy knob was invalid (this subsumes the old
     /// `BadDropProbability`: the drop knob now lives on [`FaultPlan`]).
     Fault(FaultConfigError),
+    /// The deprecated `with_signal_drop_probability` shim was combined with
+    /// an explicit [`FaultPlan`]: the composition order would silently
+    /// decide which drop probability wins, so the mix is rejected. Fold the
+    /// drop knob into the plan instead:
+    /// `with_fault_plan(FaultPlan::default().with_signal_drop(p))`.
+    ConflictingFaultShim,
 }
 
 impl fmt::Display for MachineConfigError {
@@ -91,6 +137,12 @@ impl fmt::Display for MachineConfigError {
             }
             MachineConfigError::BadPieceSize => write!(f, "piece size must be nonzero"),
             MachineConfigError::Fault(e) => write!(f, "invalid fault configuration: {e}"),
+            MachineConfigError::ConflictingFaultShim => write!(
+                f,
+                "deprecated with_signal_drop_probability cannot be combined with \
+                 with_fault_plan; set the drop probability on the FaultPlan via \
+                 FaultPlan::with_signal_drop instead"
+            ),
         }
     }
 }
@@ -153,6 +205,12 @@ pub struct MachineConfig {
     broadcast_filter: bool,
     /// When true, the coherence checker runs during the simulation.
     checking: bool,
+    /// Which protocol engine drives the machine.
+    engine: EngineKind,
+    /// Whether the deprecated `with_signal_drop_probability` shim ran.
+    shim_signal_drop: bool,
+    /// Whether `with_fault_plan` installed an explicit plan.
+    explicit_fault_plan: bool,
 }
 
 impl MachineConfig {
@@ -185,7 +243,21 @@ impl MachineConfig {
             watchdog: Watchdog::default(),
             broadcast_filter: false,
             checking: true,
+            engine: EngineKind::Multicube,
+            shim_signal_drop: false,
+            explicit_fault_plan: false,
         })
+    }
+
+    /// Selects the coherence-protocol engine (default
+    /// [`EngineKind::Multicube`]). The single-bus engines ignore the grid's
+    /// column buses and the Multicube-specific knobs (MLT capacity,
+    /// snarfing, broadcast filter, latency modes beyond store-and-forward
+    /// occupancy, and the Multicube fault vocabulary).
+    #[must_use]
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Sets the coherency/transfer block size in bus words.
@@ -260,9 +332,15 @@ impl MachineConfig {
 
     /// Installs a fault-injection plan (§3 robustness testing). The default
     /// plan injects nothing.
+    ///
+    /// Mixing this with the deprecated
+    /// [`with_signal_drop_probability`](Self::with_signal_drop_probability)
+    /// shim is rejected by [`validate`](Self::validate) — see the shim's
+    /// documentation for the migration path.
     #[must_use]
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.faults = plan;
+        self.explicit_fault_plan = true;
         self
     }
 
@@ -283,6 +361,27 @@ impl MachineConfig {
     /// Sets the probability that a controller drops its modified-signal
     /// responsibility (failure injection exercising the §3 robustness
     /// argument). Must be in `[0, 1)`.
+    ///
+    /// # Migration
+    ///
+    /// The drop knob moved onto [`FaultPlan`] in 0.2.0; replace
+    ///
+    /// ```text
+    /// config.with_signal_drop_probability(p)
+    /// ```
+    ///
+    /// with
+    ///
+    /// ```text
+    /// config.with_fault_plan(FaultPlan::default().with_signal_drop(p))
+    /// ```
+    ///
+    /// (or call [`FaultPlan::with_signal_drop`] on the plan you already
+    /// build). Combining this shim with an explicit
+    /// [`with_fault_plan`](Self::with_fault_plan) call is rejected by
+    /// [`validate`](Self::validate) with
+    /// [`MachineConfigError::ConflictingFaultShim`]: the builder-order
+    /// composition used to silently decide which drop probability won.
     #[deprecated(
         since = "0.2.0",
         note = "use `with_fault_plan(FaultPlan::default().with_signal_drop(p))`"
@@ -290,6 +389,7 @@ impl MachineConfig {
     #[must_use]
     pub fn with_signal_drop_probability(mut self, p: f64) -> Self {
         self.faults = self.faults.with_signal_drop(p);
+        self.shim_signal_drop = true;
         self
     }
 
@@ -314,9 +414,17 @@ impl MachineConfig {
                 return Err(MachineConfigError::BadPieceSize);
             }
         }
+        if self.shim_signal_drop && self.explicit_fault_plan {
+            return Err(MachineConfigError::ConflictingFaultShim);
+        }
         self.faults.validate()?;
         self.retry.validate()?;
         Ok(geom)
+    }
+
+    /// The selected coherence-protocol engine.
+    pub fn engine(&self) -> EngineKind {
+        self.engine
     }
 
     /// The grid topology.
@@ -460,6 +568,37 @@ mod tests {
         assert_eq!(c.signal_drop_probability(), 0.25);
         assert_eq!(c.fault_plan().signal_drop(), 0.25);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn default_engine_is_multicube() {
+        let c = MachineConfig::grid(4).unwrap();
+        assert_eq!(c.engine(), EngineKind::Multicube);
+        let c = c.with_engine(EngineKind::Dragon);
+        assert_eq!(c.engine(), EngineKind::Dragon);
+        assert_eq!(EngineKind::Mesi.name(), "mesi");
+        assert_eq!(EngineKind::all().len(), 3);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn shim_conflicts_with_explicit_fault_plan() {
+        // Shim after an explicit plan: rejected.
+        let c = MachineConfig::grid(4)
+            .unwrap()
+            .with_fault_plan(FaultPlan::default().with_signal_drop(0.1))
+            .with_signal_drop_probability(0.25);
+        assert_eq!(c.validate(), Err(MachineConfigError::ConflictingFaultShim));
+        // Shim before an explicit plan: equally rejected — order must not
+        // silently pick a winner.
+        let c = MachineConfig::grid(4)
+            .unwrap()
+            .with_signal_drop_probability(0.25)
+            .with_fault_plan(FaultPlan::default());
+        assert_eq!(c.validate(), Err(MachineConfigError::ConflictingFaultShim));
+        assert!(!MachineConfigError::ConflictingFaultShim
+            .to_string()
+            .is_empty());
     }
 
     #[test]

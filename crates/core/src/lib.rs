@@ -58,9 +58,10 @@ pub mod node;
 pub mod proto;
 pub mod trace;
 
-pub use config::{LatencyMode, MachineConfig, MachineConfigError, Timing};
+pub use config::{EngineKind, LatencyMode, MachineConfig, MachineConfigError, Timing};
 pub use driver::{Request, RequestKind, SyntheticSpec};
 pub use fault::{FaultConfigError, FaultPlan, RetryPolicy, Watchdog, WatchdogAction};
+pub use machine::engine::ProtocolEngine;
 pub use machine::{Completion, Machine, SubmitError};
 pub use metrics::{BusReport, MachineMetrics, RunReport, TxnStats};
 pub use node::LineMode;

@@ -7,6 +7,7 @@
 //! instants, mirroring the paper's "on a bus operation, all nodes on the
 //! bus ... execute the appropriate procedure".
 
+pub mod engine;
 mod readmod;
 mod readops;
 mod start;
@@ -21,7 +22,7 @@ use multicube_sim::{DeterministicRng, EventQueue, SimDuration, SimTime};
 use multicube_topology::NodeId;
 
 use crate::bus::Bus;
-use crate::check::{self, CoherenceViolation};
+use crate::check::CoherenceViolation;
 use crate::config::{LatencyMode, MachineConfig, MachineConfigError};
 use crate::driver::{Request, RequestKind, SyntheticSpec};
 use crate::fault::{FaultInjector, WatchdogAction};
@@ -208,6 +209,14 @@ pub struct Machine {
     trace: TraceSink,
     /// Fault-injection decision engine (inert under the default plan).
     pub(crate) faults: FaultInjector,
+    /// Single-bus arena state (MESI/Dragon engines): which node holds each
+    /// line in Dragon's shared-modified (`Sm`) state. Empty under the
+    /// Multicube engine.
+    pub(crate) arena_sm: LineMap<NodeId>,
+    /// Which node holds each line exclusive-clean (`E`, [`LineMode::
+    /// Reserved`]) under a single-bus engine; the registry does not track
+    /// Reserved copies, and the arena engines need O(1) snoop decisions.
+    pub(crate) arena_excl: LineMap<NodeId>,
 }
 
 impl Machine {
@@ -266,6 +275,8 @@ impl Machine {
             synthetic: None,
             trace: TraceSink::from_env(),
             faults,
+            arena_sm: LineMap::default(),
+            arena_excl: LineMap::default(),
             config,
         })
     }
@@ -546,13 +557,14 @@ impl Machine {
         out
     }
 
-    /// Verifies the coherence invariants; call at quiescence.
+    /// Verifies the coherence invariants of the configured protocol
+    /// engine; call at quiescence.
     ///
     /// # Errors
     ///
     /// The first violated invariant.
     pub fn check_coherence(&self) -> Result<(), CoherenceViolation> {
-        check::check(self)
+        engine::engine_for(self.config.engine()).check(self)
     }
 
     /// Runs the closed-loop synthetic workload: every processor issues
@@ -610,7 +622,6 @@ impl Machine {
     }
 
     fn dispatch(&mut self, slot: usize, op: BusOp) {
-        use OpKind::*;
         self.trace_op(TracePoint::OpComplete, slot, &op);
         // Consume injected faults: a faulted copy occupied its bus like any
         // real operation, but its completion must not run the snoop actions.
@@ -642,6 +653,13 @@ impl Machine {
                 None,
             );
         }
+        engine::engine_for(self.config.engine()).on_op(self, slot, op);
+    }
+
+    /// The Appendix-A snoop procedures, one handler per formal operation
+    /// signature (the Multicube engine's op routing).
+    pub(crate) fn dispatch_multicube(&mut self, slot: usize, op: BusOp) {
+        use OpKind::*;
         match op.kind {
             ReadRowRequest => self.on_read_row_request(slot, op),
             ReadColRequestRemove => self.on_read_col_request_remove(slot, op),
@@ -668,6 +686,9 @@ impl Machine {
             TasColRequestMemory => self.on_tas_col_request_memory(slot, op),
             TasRowFail => self.on_tas_row_fail(slot, op),
             TasColFail => self.on_tas_col_fail(slot, op),
+            BusRead | BusReadExclusive | BusUpgrade | BusWriteback | BusUpdate => {
+                unreachable!("arena op {} dispatched on the Multicube engine", op.kind)
+            }
         }
     }
 
@@ -1031,7 +1052,22 @@ impl Machine {
         } else if op.streams_data() {
             t.data_op_ns(self.config.block_words())
         } else {
-            t.addr_op_ns
+            // The arena engines fold each whole coherence transaction into
+            // one atomic bus op on an un-pipelined snooping bus, which is
+            // held from the address phase through the supplier's access to
+            // the data transfer: address + access + block for reads /
+            // ownership fetches / write-backs, address + one word for a
+            // Dragon update, address only for a MESI upgrade. That bus
+            // hold during the access is exactly the single-bus saturation
+            // the Multicube's split row/column transactions avoid.
+            // Everything else is address-only.
+            match op.kind {
+                OpKind::BusRead | OpKind::BusReadExclusive | OpKind::BusWriteback => {
+                    t.memory_latency_ns + t.data_op_ns(self.config.block_words())
+                }
+                OpKind::BusUpdate => t.addr_op_ns + t.word_ns,
+                _ => t.addr_op_ns,
+            }
         }
     }
 

@@ -28,8 +28,20 @@ impl Machine {
         self.start_request(node, req);
     }
 
-    /// Starts a transaction for `node`; the node must be idle.
+    /// Starts a transaction for `node` on the configured protocol engine;
+    /// the node must be idle.
     pub(crate) fn start_request(&mut self, node: NodeId, req: Request) -> TxnId {
+        super::engine::engine_for(self.config.engine()).start_request(self, node, req)
+    }
+
+    /// Completion of a local (bus-free) cache access, routed to the
+    /// configured protocol engine.
+    pub(crate) fn on_local_done(&mut self, node: NodeId) {
+        super::engine::engine_for(self.config.engine()).on_local_done(self, node);
+    }
+
+    /// Starts a Multicube (Appendix-A) transaction for `node`.
+    pub(crate) fn start_request_multicube(&mut self, node: NodeId, req: Request) -> TxnId {
         let txn = self.new_txn(node, req);
         let idx = node.as_usize();
         let mode = self.controllers[idx].mode_of(&req.line);
@@ -145,11 +157,12 @@ impl Machine {
         self.emit(slot, op, 0);
     }
 
-    /// Completion of a local (bus-free) cache access. Because up to 750 ns
-    /// elapse between issue and this instant, the line may have been purged
-    /// or downgraded by snooped traffic — in that case the access restarts
-    /// as a bus transaction, exactly as a real controller would re-execute.
-    pub(crate) fn on_local_done(&mut self, node: NodeId) {
+    /// Completion of a local (bus-free) cache access under the Multicube
+    /// engine. Because up to 750 ns elapse between issue and this instant,
+    /// the line may have been purged or downgraded by snooped traffic — in
+    /// that case the access restarts as a bus transaction, exactly as a
+    /// real controller would re-execute.
+    pub(crate) fn on_local_done_multicube(&mut self, node: NodeId) {
         let idx = node.as_usize();
         let Some(out) = self.controllers[idx].outstanding else {
             return;

@@ -87,6 +87,10 @@ pub struct MachineMetrics {
     pub tas_fail: TxnStats,
     /// Shared copies invalidated by purge operations.
     pub invalidations: Counter,
+    /// Remote copies refreshed in place by write-update broadcasts
+    /// (Dragon's counterpart to `invalidations`; zero under the
+    /// write-invalidate engines).
+    pub updates: Counter,
     /// Lines snarfed off snooped buses.
     pub snarfs: Counter,
     /// Modified-line-table overflow evictions.
@@ -155,6 +159,13 @@ impl MachineMetrics {
 
     /// The per-class statistics buckets with stable display names, in a
     /// fixed order (for tables and CSV export).
+    ///
+    /// The set is protocol-independent: every engine buckets its
+    /// transactions into these same eight classes (a class an engine
+    /// never produces simply stays at zero), so rows from different
+    /// engines — e.g. the shootout's Multicube/MESI/Dragon runs — align
+    /// one-to-one and diff cleanly. Renderers must therefore emit all
+    /// eight rows rather than skipping empty classes.
     pub fn classes(&self) -> [(&'static str, &TxnStats); 8] {
         [
             ("READ unmodified", &self.read_unmodified),
@@ -343,6 +354,57 @@ mod tests {
         m.bucket(RequestKind::Read, Served::HomeCache, false)
             .record(1, 2, 1, 1, 0, 0);
         assert_eq!(m.read_unmodified.count, 1);
+    }
+
+    /// The class set is the cross-engine row schema: its names and order
+    /// are pinned so shootout tables and CSVs from different engines
+    /// stay aligned.
+    #[test]
+    fn class_set_is_stable_across_engines() {
+        let m = MachineMetrics::default();
+        let names: Vec<&str> = m.classes().iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            [
+                "READ unmodified",
+                "READ modified",
+                "READ-MOD/ALLOC unmodified",
+                "READ-MOD/ALLOC modified",
+                "local hit",
+                "WRITE-BACK",
+                "TAS success",
+                "TAS fail",
+            ]
+        );
+    }
+
+    /// A report with no completed bus transactions must report 0 ops per
+    /// transaction, not NaN: downstream CSV writers and the shootout
+    /// comparison format numbers with `{:.2}` and would otherwise emit
+    /// "NaN" rows. Pins the zero-divisor guard in `ops_per_transaction`.
+    #[test]
+    fn ops_per_transaction_guards_zero_transactions() {
+        let report = RunReport {
+            processors: 16,
+            efficiency: 1.0,
+            achieved_rate_per_ms: 0.0,
+            transactions_completed: 0,
+            mean_latency_ns: 0.0,
+            elapsed: SimTime::from_nanos(0),
+            utilization: BusUtilization::default(),
+            row_bus_ops: 7,
+            col_bus_ops: 3,
+            buses: Vec::new(),
+            events_scheduled: 0,
+            events_delivered: 0,
+            event_queue_high_water: 0,
+            metrics: MachineMetrics::default(),
+        };
+        let ops = report.ops_per_transaction();
+        assert!(ops.is_finite(), "zero transactions must not produce NaN");
+        assert_eq!(ops, 0.0);
+        // The Display path exercises the same division.
+        assert!(!report.to_string().contains("NaN"));
     }
 
     #[test]

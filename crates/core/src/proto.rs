@@ -115,6 +115,27 @@ pub enum OpKind {
     TasRowFail,
     /// Test-and-set failure notification on the originator's column.
     TasColFail,
+
+    // ---- Single-bus arena vocabulary (rival protocol engines) ----
+    //
+    // The MESI and Dragon engines model classic single-bus snooping: every
+    // coherence action is one atomic transaction on bus 0, so each op kind
+    // below carries the whole snoop (supply, purge or update) at dispatch.
+    // None of them are Appendix-A operations; the Multicube engine never
+    // emits them.
+    /// Single-bus read: memory or the dirty owner supplies the block.
+    BusRead,
+    /// Single-bus read-for-ownership: supplies the block and invalidates
+    /// every other cached copy (MESI `BusRdX`).
+    BusReadExclusive,
+    /// Address-only ownership upgrade of a copy already held shared
+    /// (MESI `BusUpgr`); invalidates the other copies.
+    BusUpgrade,
+    /// Single-bus write-back of a dirty line into memory.
+    BusWriteback,
+    /// Write-update broadcast of one word to every cached copy
+    /// (Dragon `BusUpd`).
+    BusUpdate,
 }
 
 impl OpKind {
@@ -124,7 +145,8 @@ impl OpKind {
         match self {
             ReadRowRequest | ReadRowReply | ReadRowReplyUpdate | ReadModRowRequest
             | ReadModRowReply | ReadModRowReplyPurge | ReadModRowPurge | WritebackRowUpdate
-            | TasRowRequest | TasRowFail => OpClass::Row,
+            | TasRowRequest | TasRowFail | BusRead | BusReadExclusive | BusUpgrade
+            | BusWriteback | BusUpdate => OpClass::Row,
             ReadColRequestRemove
             | ReadColRequestMemory
             | ReadColReplyUpdate
@@ -234,6 +256,11 @@ impl OpKind {
             TasColRequestMemory => "TAS(COL,REQ,MEM)",
             TasRowFail => "TAS(ROW,FAIL)",
             TasColFail => "TAS(COL,FAIL)",
+            BusRead => "BUS(READ)",
+            BusReadExclusive => "BUS(READX)",
+            BusUpgrade => "BUS(UPGRADE)",
+            BusWriteback => "BUS(WB)",
+            BusUpdate => "BUS(UPD)",
         }
     }
 }
@@ -385,6 +412,11 @@ mod tests {
             TasColRequestMemory,
             TasRowFail,
             TasColFail,
+            BusRead,
+            BusReadExclusive,
+            BusUpgrade,
+            BusWriteback,
+            BusUpdate,
         ];
         for kind in all {
             assert!(!kind.name().is_empty());
@@ -465,6 +497,13 @@ mod tests {
             WritebackColUpdateMemory,
             TasRowFail,
             TasColFail,
+            // Arena transactions are atomic: fault injection is modeled for
+            // the Multicube vocabulary only.
+            BusRead,
+            BusReadExclusive,
+            BusUpgrade,
+            BusWriteback,
+            BusUpdate,
         ] {
             assert!(!kind.is_request(), "{kind} must never be lost/duplicated");
         }

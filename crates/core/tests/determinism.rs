@@ -110,6 +110,32 @@ fn concurrent_traces_are_byte_identical_across_runs() {
     }
 }
 
+/// Pinned pre-`ProtocolEngine` trace fingerprints. The engine seam must
+/// keep the default Multicube machine byte-identical at fixed seeds:
+/// these digests were captured before the refactor and must never drift.
+/// (The serial workload submits a fixed request sequence and draws no
+/// randomness, so its digest is seed-independent.)
+#[test]
+fn multicube_traces_match_pre_refactor_fingerprints() {
+    use multicube_sim::md5_hex;
+    assert_eq!(
+        md5_hex(&serial_trace(1)),
+        "4d2f2546d675e38c62e6d1c07b19b99e"
+    );
+    assert_eq!(
+        md5_hex(&serial_trace(42)),
+        "4d2f2546d675e38c62e6d1c07b19b99e"
+    );
+    assert_eq!(
+        md5_hex(&concurrent_trace(1)),
+        "b09a608738491fbcd7fc9a57299de463"
+    );
+    assert_eq!(
+        md5_hex(&concurrent_trace(42)),
+        "9692576ff7ace77ad58595bb531578b2"
+    );
+}
+
 #[test]
 fn different_seeds_still_differ() {
     // Guard against the sinks accidentally capturing nothing comparable:

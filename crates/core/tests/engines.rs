@@ -1,0 +1,293 @@
+//! Engine conformance: the pluggable `ProtocolEngine` seam must give
+//! every engine the same external contract (requests complete, invariants
+//! hold, traces are deterministic) while each engine follows its own
+//! per-line state machine. Trace-driven chain tests pin the bus-op
+//! sequences of the arena engines the way `trace_protocol.rs` pins the
+//! Appendix-A chains.
+
+use multicube::trace::{TracePoint, TraceSink};
+use multicube::{EngineKind, LineMode, Machine, MachineConfig, OpKind, Request, SyntheticSpec};
+use multicube_mem::LineAddr;
+
+fn grid4(engine: EngineKind) -> Machine {
+    let config = MachineConfig::grid(4).unwrap().with_engine(engine);
+    Machine::new(config, 31).unwrap()
+}
+
+/// Completed bus ops touching `line`, in completion order.
+fn completed_ops(m: &Machine, line: LineAddr) -> Vec<OpKind> {
+    m.trace_events()
+        .into_iter()
+        .filter(|e| e.point == TracePoint::OpComplete && e.line == line)
+        .map(|e| e.kind.expect("operation events carry a kind"))
+        .collect()
+}
+
+fn quiesce(m: &mut Machine) {
+    m.advance().unwrap();
+    m.run_to_quiescence();
+}
+
+// ---------------------------------------------------------------------
+// Cross-engine contract
+// ---------------------------------------------------------------------
+
+/// Every engine completes the full synthetic workload and passes its own
+/// quiescent invariant check.
+#[test]
+fn all_engines_run_the_synthetic_workload_coherently() {
+    for engine in EngineKind::all() {
+        let mut m = grid4(engine);
+        let report = m.run_synthetic(&SyntheticSpec::default(), 25);
+        assert_eq!(
+            report.transactions_completed,
+            25 * 16,
+            "{engine}: all transactions complete"
+        );
+        assert!(
+            report.efficiency > 0.0 && report.efficiency <= 1.0,
+            "{engine}: efficiency in range"
+        );
+        m.check_coherence()
+            .unwrap_or_else(|v| panic!("{engine}: coherence violated: {v}"));
+    }
+}
+
+/// The single-writer invariant holds for every engine under write
+/// contention on one line.
+#[test]
+fn single_writer_holds_under_contention_for_every_engine() {
+    let line = LineAddr::new(7);
+    for engine in EngineKind::all() {
+        let mut m = grid4(engine);
+        for i in 0..24u32 {
+            let node = m.config().topology().node(i % 4, (i / 4) % 4);
+            m.submit(node, Request::write(line)).unwrap();
+            quiesce(&mut m);
+            let writers = (0..16u32)
+                .map(|n| m.config().topology().node(n / 4, n % 4))
+                .filter(|&n| m.controller(n).mode_of(&line) == Some(LineMode::Modified))
+                .count();
+            assert!(writers <= 1, "{engine}: {writers} simultaneous writers");
+            m.check_coherence()
+                .unwrap_or_else(|v| panic!("{engine}: coherence violated: {v}"));
+        }
+    }
+}
+
+/// Seeded runs of the rival engines are reproducible: identical seeds
+/// give identical reports, different seeds diverge.
+#[test]
+fn arena_engines_are_deterministic() {
+    for engine in [EngineKind::Mesi, EngineKind::Dragon] {
+        let run = |seed: u64| {
+            let config = MachineConfig::grid(4).unwrap().with_engine(engine);
+            let mut m = Machine::new(config, seed).unwrap();
+            let r = m.run_synthetic(&SyntheticSpec::default(), 30);
+            (
+                r.transactions_completed,
+                r.elapsed,
+                r.row_bus_ops + r.col_bus_ops,
+                r.mean_latency_ns.to_bits(),
+            )
+        };
+        assert_eq!(run(9), run(9), "{engine}: same seed must reproduce");
+        assert_ne!(run(9), run(10), "{engine}: different seeds must diverge");
+    }
+}
+
+// ---------------------------------------------------------------------
+// MESI chains
+// ---------------------------------------------------------------------
+
+/// A read miss to a remotely-modified line is a single atomic bus
+/// transaction: the owner supplies, downgrades to S, memory snarfs.
+#[test]
+fn mesi_remote_modified_read_is_one_bus_transaction() {
+    let mut m = grid4(EngineKind::Mesi);
+    let line = LineAddr::new(5);
+    let owner = m.config().topology().node(3, 3);
+    let reader = m.config().topology().node(0, 2);
+
+    m.submit(owner, Request::write(line)).unwrap();
+    quiesce(&mut m);
+    assert_eq!(m.controller(owner).mode_of(&line), Some(LineMode::Modified));
+
+    m.set_trace_sink(TraceSink::ring(1024));
+    m.submit(reader, Request::read(line)).unwrap();
+    quiesce(&mut m);
+
+    assert_eq!(completed_ops(&m, line), vec![OpKind::BusRead]);
+    assert_eq!(m.controller(owner).mode_of(&line), Some(LineMode::Shared));
+    assert_eq!(m.controller(reader).mode_of(&line), Some(LineMode::Shared));
+    m.check_coherence().expect("coherent");
+}
+
+/// A write hit on a shared copy upgrades in place with an address-only
+/// `BusUpgrade`, invalidating the other sharers; a subsequent read by an
+/// invalidated node misses and sees the new data (no stale read after
+/// invalidate).
+#[test]
+fn mesi_write_hit_shared_upgrades_and_invalidates() {
+    let mut m = grid4(EngineKind::Mesi);
+    let line = LineAddr::new(9);
+    let a = m.config().topology().node(0, 0);
+    let b = m.config().topology().node(1, 1);
+
+    // a fetches exclusive-clean, b's read makes both shared.
+    m.submit(a, Request::read(line)).unwrap();
+    quiesce(&mut m);
+    assert_eq!(m.controller(a).mode_of(&line), Some(LineMode::Reserved));
+    m.submit(b, Request::read(line)).unwrap();
+    quiesce(&mut m);
+    assert_eq!(m.controller(a).mode_of(&line), Some(LineMode::Shared));
+
+    let invalidations_before = m.metrics().invalidations.get();
+    m.set_trace_sink(TraceSink::ring(1024));
+    m.submit(a, Request::write(line)).unwrap();
+    quiesce(&mut m);
+
+    assert_eq!(completed_ops(&m, line), vec![OpKind::BusUpgrade]);
+    assert_eq!(m.controller(a).mode_of(&line), Some(LineMode::Modified));
+    assert_eq!(m.controller(b).mode_of(&line), None, "b was invalidated");
+    assert_eq!(m.metrics().invalidations.get(), invalidations_before + 1);
+
+    // b reads again: a miss that must observe a's write.
+    m.submit(b, Request::read(line)).unwrap();
+    quiesce(&mut m);
+    assert_eq!(
+        m.controller(b).data_of(&line),
+        m.controller(a).data_of(&line),
+        "no stale read after invalidate"
+    );
+    m.check_coherence().expect("coherent");
+}
+
+/// A write to an exclusive-clean (E) copy upgrades to M silently — the
+/// MESI advantage: zero bus traffic.
+#[test]
+fn mesi_exclusive_clean_write_is_silent() {
+    let mut m = grid4(EngineKind::Mesi);
+    let line = LineAddr::new(11);
+    let a = m.config().topology().node(2, 0);
+
+    m.submit(a, Request::read(line)).unwrap();
+    quiesce(&mut m);
+    assert_eq!(m.controller(a).mode_of(&line), Some(LineMode::Reserved));
+
+    m.set_trace_sink(TraceSink::ring(1024));
+    m.submit(a, Request::write(line)).unwrap();
+    quiesce(&mut m);
+
+    assert!(
+        completed_ops(&m, line).is_empty(),
+        "E→M must use no bus traffic"
+    );
+    assert_eq!(m.controller(a).mode_of(&line), Some(LineMode::Modified));
+    m.check_coherence().expect("coherent");
+}
+
+// ---------------------------------------------------------------------
+// Dragon chains
+// ---------------------------------------------------------------------
+
+/// A write hit on a shared copy broadcasts one `BusUpdate`; the other
+/// copy is refreshed in place, never invalidated, and a subsequent local
+/// read sees the new data (no stale read after update).
+#[test]
+fn dragon_write_to_shared_broadcasts_an_update() {
+    let mut m = grid4(EngineKind::Dragon);
+    let line = LineAddr::new(13);
+    let a = m.config().topology().node(0, 1);
+    let b = m.config().topology().node(2, 2);
+
+    m.submit(a, Request::read(line)).unwrap();
+    quiesce(&mut m);
+    m.submit(b, Request::read(line)).unwrap();
+    quiesce(&mut m);
+    assert_eq!(m.controller(a).mode_of(&line), Some(LineMode::Shared));
+
+    let updates_before = m.metrics().updates.get();
+    m.set_trace_sink(TraceSink::ring(1024));
+    m.submit(b, Request::write(line)).unwrap();
+    quiesce(&mut m);
+
+    assert_eq!(completed_ops(&m, line), vec![OpKind::BusUpdate]);
+    assert_eq!(
+        m.controller(a).mode_of(&line),
+        Some(LineMode::Shared),
+        "Dragon never invalidates"
+    );
+    assert_eq!(m.metrics().updates.get(), updates_before + 1);
+    assert_eq!(
+        m.controller(a).data_of(&line),
+        m.controller(b).data_of(&line),
+        "no stale read after update"
+    );
+    m.check_coherence().expect("coherent");
+}
+
+/// A write miss while other copies exist is the classic two-op Dragon
+/// sequence: `BusRead` to fetch, then `BusUpdate` to broadcast the write.
+#[test]
+fn dragon_write_miss_with_sharers_chains_read_then_update() {
+    let mut m = grid4(EngineKind::Dragon);
+    let line = LineAddr::new(17);
+    let a = m.config().topology().node(0, 0);
+    let b = m.config().topology().node(1, 2);
+    let writer = m.config().topology().node(3, 1);
+
+    m.submit(a, Request::read(line)).unwrap();
+    quiesce(&mut m);
+    m.submit(b, Request::read(line)).unwrap();
+    quiesce(&mut m);
+
+    let updates_before = m.metrics().updates.get();
+    m.set_trace_sink(TraceSink::ring(1024));
+    m.submit(writer, Request::write(line)).unwrap();
+    quiesce(&mut m);
+
+    assert_eq!(
+        completed_ops(&m, line),
+        vec![OpKind::BusRead, OpKind::BusUpdate]
+    );
+    // Both prior sharers were refreshed in place.
+    assert_eq!(m.metrics().updates.get(), updates_before + 2);
+    for n in [a, b] {
+        assert_eq!(
+            m.controller(n).data_of(&line),
+            m.controller(writer).data_of(&line),
+            "update refreshed every copy"
+        );
+    }
+    m.check_coherence().expect("coherent");
+}
+
+/// A read of a remotely-modified line leaves the dirty data in the
+/// caches: the old owner becomes the shared-modified supplier and memory
+/// stays stale until a write-back.
+#[test]
+fn dragon_read_of_modified_line_creates_a_shared_modified_supplier() {
+    let mut m = grid4(EngineKind::Dragon);
+    let line = LineAddr::new(21);
+    let owner = m.config().topology().node(2, 3);
+    let reader = m.config().topology().node(1, 0);
+
+    m.submit(owner, Request::write(line)).unwrap();
+    quiesce(&mut m);
+    assert_eq!(m.controller(owner).mode_of(&line), Some(LineMode::Modified));
+
+    m.set_trace_sink(TraceSink::ring(1024));
+    m.submit(reader, Request::read(line)).unwrap();
+    quiesce(&mut m);
+
+    assert_eq!(completed_ops(&m, line), vec![OpKind::BusRead]);
+    assert_eq!(m.controller(owner).mode_of(&line), Some(LineMode::Shared));
+    assert_eq!(m.controller(reader).mode_of(&line), Some(LineMode::Shared));
+    m.check_coherence().expect("coherent");
+
+    // An explicit write-back by the Sm holder cleans the line for memory.
+    m.submit(owner, Request::writeback(line)).unwrap();
+    quiesce(&mut m);
+    m.check_coherence().expect("coherent after writeback");
+}
