@@ -22,6 +22,9 @@
 //!   shootout  protocol shootout — Multicube vs single-bus MESI vs Dragon
 //!             on identical seeded workloads (writes BENCH_shootout.csv;
 //!             override the path with --shootout-out)
+//!   model     T-7.1: exhaustive model-checker state counts per engine +
+//!             simulator-subset cross-validation (--quick = push gate
+//!             config, default = nightly soak config)
 //!   all       everything above
 //! ```
 
@@ -475,6 +478,46 @@ fn shootout(opts: &Options) {
     }
 }
 
+/// T-7.1: the exhaustive protocol verification table — explored-state
+/// counts per engine from the `multicube-model` checker, plus the
+/// simulator-subset cross-validation. `--quick` runs the push-gate
+/// configuration (1 line, 2 txns); the default runs the nightly soak
+/// configuration (2 lines, 3 txns, fault budget 2).
+fn model(opts: &Options) {
+    use multicube::EngineKind;
+    use multicube_model::ModelConfig;
+
+    let (lines, txns, budget) = if opts.quick { (1, 2, 1) } else { (2, 3, 2) };
+    println!("Model checker: exhaustive state-space exploration (2x2 grid, {lines} line(s), {txns} txns)");
+    println!("engine     budget     states transitions  idle-fps  xval");
+    for engine in EngineKind::all() {
+        let b = if engine == EngineKind::Multicube {
+            budget
+        } else {
+            0
+        };
+        let cfg = ModelConfig::new(engine, lines, txns, b);
+        let ex = multicube_model::check_model(&cfg);
+        assert!(
+            ex.violation.is_none() && !ex.truncated,
+            "{}: model exploration failed",
+            engine.name()
+        );
+        let idle = multicube_model::idle_fingerprints(&cfg, &ex).len();
+        let xval = multicube_model::cross_validate(&cfg).expect("cross-validation");
+        println!(
+            "{:<10} {:>6} {:>10} {:>11} {:>9}  {} sim runs, {} fingerprints, sim is a subset of model",
+            engine.name(),
+            b,
+            ex.states.len(),
+            ex.transitions,
+            idle,
+            xval.sim_runs,
+            xval.fingerprints_checked,
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut command = String::from("all");
@@ -530,6 +573,7 @@ fn main() {
         "kdim" => kdim(&opts),
         "telemetry" => telemetry(&opts),
         "shootout" => shootout(&opts),
+        "model" => model(&opts),
         "all" => {
             fig2(&opts);
             fig3(&opts);
@@ -544,6 +588,7 @@ fn main() {
             kdim(&opts);
             telemetry(&opts);
             shootout(&opts);
+            model(&opts);
         }
         other => panic!("unknown command {other}; see --help in the source header"),
     }

@@ -23,14 +23,151 @@
 //! "dirty" means (Dragon's shared-modified state keeps memory stale while
 //! copies are shared) and skipping the MLT, which only the Multicube
 //! protocol maintains.
+//!
+//! Every predicate reads machine state through the [`CoherenceView`]
+//! trait rather than touching [`Machine`] directly. The simulator is one
+//! implementor; the `multicube-model` explicit-state model checker is
+//! another, so the *same* invariant code judges both the event-driven
+//! simulation and every state the guarded-action checker enumerates.
+//!
+//! [`check_midflight`] is the subset of these invariants that holds at
+//! *every* event boundary, not only at quiescence — see
+//! [`MachineConfig::with_check_every`](crate::MachineConfig::with_check_every).
 
 use core::fmt;
 
-use multicube_mem::{LineAddr, LineMap, LineSet};
+use multicube_mem::{LineAddr, LineMap, LineSet, LineVersion};
 use multicube_topology::NodeId;
 
+use crate::config::EngineKind;
 use crate::machine::Machine;
 use crate::node::LineMode;
+use crate::proto::TxnId;
+
+/// An abstract, read-only view of global coherence state: everything the
+/// invariant predicates need, and nothing tied to the event-driven
+/// simulator. Implemented by [`Machine`] and by the model checker's
+/// canonical states (crate `multicube-model`).
+///
+/// Nodes are indexed `0..side()*side()` in row-major order; memory is
+/// interleaved by home column as in the paper.
+pub trait CoherenceView {
+    /// The grid side `n` (the machine has `n * n` nodes).
+    fn side(&self) -> u32;
+
+    /// Every line resident in `node`'s snooping cache, with its mode and
+    /// the data version it holds. Order is not significant.
+    fn resident(&self, node: NodeId) -> Vec<(LineAddr, LineMode, LineVersion)>;
+
+    /// Lines held by `node`'s processor (L1) cache; empty when the L1
+    /// level is not modelled.
+    fn l1_lines(&self, node: NodeId) -> Vec<LineAddr>;
+
+    /// The contents of `node`'s modified-line-table replica. Order is not
+    /// significant (compared as sets).
+    fn mlt_lines(&self, node: NodeId) -> Vec<LineAddr>;
+
+    /// The home column of `line`.
+    fn home_column(&self, line: LineAddr) -> u32;
+
+    /// Memory's valid bit for `line` at its home column.
+    fn memory_valid(&self, line: LineAddr) -> bool;
+
+    /// Memory's stored data version for `line` (regardless of validity).
+    fn memory_data(&self, line: LineAddr) -> LineVersion;
+
+    /// Every line memory has ever stored (union over all columns).
+    fn memory_lines(&self) -> Vec<LineAddr>;
+
+    /// The latest committed write version of `line`.
+    fn committed_version(&self, line: LineAddr) -> LineVersion;
+
+    /// The owner registry's entry for `line`.
+    fn registry_owner(&self, line: LineAddr) -> Option<NodeId>;
+
+    /// All owner-registry entries.
+    fn registry_entries(&self) -> Vec<(LineAddr, NodeId)>;
+
+    /// The arena engines' exclusive-clean (`E`) side table.
+    fn excl_entries(&self) -> Vec<(LineAddr, NodeId)>;
+
+    /// The Dragon engine's shared-modified (`Sm`) side table.
+    fn sm_entries(&self) -> Vec<(LineAddr, NodeId)>;
+
+    /// A transaction still under watchdog escalation, if any.
+    fn escalated(&self) -> Option<TxnId>;
+}
+
+impl CoherenceView for Machine {
+    fn side(&self) -> u32 {
+        Machine::side(self)
+    }
+
+    fn resident(&self, node: NodeId) -> Vec<(LineAddr, LineMode, LineVersion)> {
+        self.controller(node)
+            .cache
+            .iter()
+            .map(|(line, cl)| (line, cl.mode, cl.data))
+            .collect()
+    }
+
+    fn l1_lines(&self, node: NodeId) -> Vec<LineAddr> {
+        self.controller(node)
+            .proc_cache
+            .as_ref()
+            .map(|l1| l1.iter().map(|(line, ())| line).collect())
+            .unwrap_or_default()
+    }
+
+    fn mlt_lines(&self, node: NodeId) -> Vec<LineAddr> {
+        self.controller(node).mlt.iter().copied().collect()
+    }
+
+    fn home_column(&self, line: LineAddr) -> u32 {
+        Machine::home_column(self, line)
+    }
+
+    fn memory_valid(&self, line: LineAddr) -> bool {
+        self.memory(Machine::home_column(self, line))
+            .is_valid(&line)
+    }
+
+    fn memory_data(&self, line: LineAddr) -> LineVersion {
+        self.memory(Machine::home_column(self, line)).peek(&line)
+    }
+
+    fn memory_lines(&self) -> Vec<LineAddr> {
+        let mut out = Vec::new();
+        for col in 0..Machine::side(self) {
+            out.extend(self.memory(col).touched_lines().map(|(l, _, _)| l));
+        }
+        out
+    }
+
+    fn committed_version(&self, line: LineAddr) -> LineVersion {
+        Machine::committed_version(self, line)
+    }
+
+    fn registry_owner(&self, line: LineAddr) -> Option<NodeId> {
+        Machine::registry_owner(self, line)
+    }
+
+    fn registry_entries(&self) -> Vec<(LineAddr, NodeId)> {
+        Machine::registry_entries(self).collect()
+    }
+
+    fn excl_entries(&self) -> Vec<(LineAddr, NodeId)> {
+        self.arena_excl.iter().map(|(l, n)| (*l, *n)).collect()
+    }
+
+    fn sm_entries(&self) -> Vec<(LineAddr, NodeId)> {
+        self.arena_sm.iter().map(|(l, n)| (*l, *n)).collect()
+    }
+
+    fn escalated(&self) -> Option<TxnId> {
+        self.escalated_txn()
+    }
+}
 
 /// A violated coherence invariant.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -150,70 +287,141 @@ impl fmt::Display for CoherenceViolation {
 
 impl std::error::Error for CoherenceViolation {}
 
-/// Runs all invariant checks against a quiescent machine.
-///
-/// # Errors
-///
-/// The first violation found.
-pub fn check(m: &Machine) -> Result<(), CoherenceViolation> {
-    let n = m.side();
-    // Gather per-line cache state.
-    let mut owners: LineMap<NodeId> = LineMap::default();
-    let mut sharers: LineMap<Vec<NodeId>> = LineMap::default();
+/// Per-line residency gathered in one pass over every node's cache.
+#[derive(Default)]
+struct Gathered {
+    owners: LineMap<NodeId>,
+    sharers: LineMap<Vec<NodeId>>,
+    reserved: LineMap<Vec<NodeId>>,
+    held: LineMap<Vec<(NodeId, LineVersion)>>,
+}
+
+impl Gathered {
+    /// The data version `node` holds for `line`, if resident.
+    fn version_at(&self, node: NodeId, line: LineAddr) -> Option<LineVersion> {
+        self.held
+            .get(&line)
+            .and_then(|v| v.iter().find(|(n, _)| *n == node))
+            .map(|(_, d)| *d)
+    }
+}
+
+/// Walks every cache once, detecting multiple writers on the way.
+fn gather(v: &dyn CoherenceView) -> Result<Gathered, CoherenceViolation> {
+    let n = v.side();
+    let mut g = Gathered::default();
     for node_idx in 0..(n * n) {
         let node = NodeId::new(node_idx);
-        let ctrl = m.controller(node);
-        for (line, cl) in ctrl.cache.iter() {
-            match cl.mode {
+        for (line, mode, data) in v.resident(node) {
+            g.held.entry(line).or_default().push((node, data));
+            match mode {
                 LineMode::Modified => {
-                    if let Some(prev) = owners.insert(line, node) {
+                    if let Some(prev) = g.owners.insert(line, node) {
                         return Err(CoherenceViolation::MultipleWriters {
                             line,
                             nodes: (prev, node),
                         });
                     }
                 }
-                LineMode::Shared => sharers.entry(line).or_default().push(node),
-                LineMode::Reserved => {}
+                LineMode::Shared => g.sharers.entry(line).or_default().push(node),
+                LineMode::Reserved => g.reserved.entry(line).or_default().push(node),
             }
         }
     }
+    Ok(g)
+}
+
+/// Lines known to any structure, in stable address order.
+fn known_lines(v: &dyn CoherenceView, g: &Gathered) -> Vec<LineAddr> {
+    let mut lines: LineSet = LineSet::default();
+    lines.extend(g.held.keys().copied());
+    lines.extend(v.memory_lines());
+    let mut lines: Vec<LineAddr> = lines.into_iter().collect();
+    lines.sort_unstable_by_key(|l| l.index());
+    lines
+}
+
+/// Registry sanity, both directions: every cache owner is registered, and
+/// every registry entry is backed by a modified copy.
+fn check_registry(v: &dyn CoherenceView, g: &Gathered) -> Result<(), CoherenceViolation> {
+    let mut owned_lines: Vec<LineAddr> = g.owners.keys().copied().collect();
+    owned_lines.sort_unstable_by_key(|l| l.index());
+    for &line in &owned_lines {
+        let node = g.owners[&line];
+        if v.registry_owner(line) != Some(node) {
+            return Err(CoherenceViolation::RegistryMismatch {
+                line,
+                detail: format!("cache owner {node} not in registry"),
+            });
+        }
+    }
+    // Smallest offending address, not whichever the hash order yields
+    // first: stray-registry-entry reports must be stable run to run.
+    if let Some((line, node)) = v
+        .registry_entries()
+        .into_iter()
+        .filter(|(l, _)| !g.owners.contains_key(l))
+        .min_by_key(|(l, _)| l.index())
+    {
+        return Err(CoherenceViolation::RegistryMismatch {
+            line,
+            detail: format!("registry claims {node} but no cache holds it modified"),
+        });
+    }
+    Ok(())
+}
+
+/// The §2 strict-subset property: every L1 line is present in L2.
+fn check_l1_subset(v: &dyn CoherenceView) -> Result<(), CoherenceViolation> {
+    let n = v.side();
+    for node_idx in 0..(n * n) {
+        let node = NodeId::new(node_idx);
+        let l1 = v.l1_lines(node);
+        if l1.is_empty() {
+            continue;
+        }
+        let l2: LineSet = v.resident(node).into_iter().map(|(l, _, _)| l).collect();
+        for line in l1 {
+            if !l2.contains(&line) {
+                return Err(CoherenceViolation::SubsetViolation { node, line });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs all invariant checks against a quiescent Multicube machine (or
+/// any other [`CoherenceView`] claiming Multicube semantics).
+///
+/// # Errors
+///
+/// The first violation found.
+pub fn check(v: &dyn CoherenceView) -> Result<(), CoherenceViolation> {
+    let n = v.side();
+    let g = gather(v)?;
 
     // Violations below are found by walking hash maps; report them in
     // line-address order so a given failure names the same line on every
     // run, whatever the hasher.
-    let mut owned_lines: Vec<LineAddr> = owners.keys().copied().collect();
+    let mut owned_lines: Vec<LineAddr> = g.owners.keys().copied().collect();
     owned_lines.sort_unstable_by_key(|l| l.index());
 
     // 2. Modified excludes shared.
     for &line in &owned_lines {
-        let owner = owners[&line];
-        if let Some(sh) = sharers.get(&line) {
-            if let Some(&sharer) = sh.first() {
-                return Err(CoherenceViolation::ModifiedWithSharers {
-                    line,
-                    owner,
-                    sharer,
-                });
-            }
+        let owner = g.owners[&line];
+        if let Some(&sharer) = g.sharers.get(&line).and_then(|s| s.first()) {
+            return Err(CoherenceViolation::ModifiedWithSharers {
+                line,
+                owner,
+                sharer,
+            });
         }
     }
 
     // 3+4. Valid bit and value integrity over every line any structure knows.
-    let mut lines: LineSet = LineSet::default();
-    lines.extend(owners.keys().copied());
-    lines.extend(sharers.keys().copied());
-    for col in 0..n {
-        for (line, _, _) in m.memory(col).touched_lines() {
-            lines.insert(line);
-        }
-    }
-    let mut lines: Vec<LineAddr> = lines.into_iter().collect();
-    lines.sort_unstable_by_key(|l| l.index());
-    for line in lines {
-        let col = m.home_column(line);
-        let memory_valid = m.memory(col).is_valid(&line);
-        let has_owner = owners.contains_key(&line);
+    for line in known_lines(v, &g) {
+        let memory_valid = v.memory_valid(line);
+        let has_owner = g.owners.contains_key(&line);
         if memory_valid == has_owner {
             return Err(CoherenceViolation::ValidBitMismatch {
                 line,
@@ -221,9 +429,9 @@ pub fn check(m: &Machine) -> Result<(), CoherenceViolation> {
                 has_owner,
             });
         }
-        let latest = m.committed_version(line);
-        if let Some(&owner) = owners.get(&line) {
-            let held = m.controller(owner).data_of(&line);
+        let latest = v.committed_version(line);
+        if let Some(&owner) = g.owners.get(&line) {
+            let held = g.version_at(owner, line);
             if held != Some(latest) {
                 return Err(CoherenceViolation::StaleValue {
                     line,
@@ -231,14 +439,14 @@ pub fn check(m: &Machine) -> Result<(), CoherenceViolation> {
                 });
             }
         } else {
-            if m.memory(col).peek(&line) != latest {
+            if v.memory_data(line) != latest {
                 return Err(CoherenceViolation::StaleValue {
                     line,
-                    holder: format!("memory column {col}"),
+                    holder: format!("memory column {}", v.home_column(line)),
                 });
             }
-            for sharer in sharers.get(&line).into_iter().flatten() {
-                let held = m.controller(*sharer).data_of(&line);
+            for sharer in g.sharers.get(&line).into_iter().flatten() {
+                let held = g.version_at(*sharer, line);
                 if held != Some(latest) {
                     return Err(CoherenceViolation::StaleValue {
                         line,
@@ -250,25 +458,13 @@ pub fn check(m: &Machine) -> Result<(), CoherenceViolation> {
     }
 
     // 5. MLT replicas agree and match reality per column.
+    check_mlt_replicas(v)?;
     for col in 0..n {
-        let mut reference: Option<Vec<LineAddr>> = None;
-        for row in 0..n {
-            let node = NodeId::new(row * n + col);
-            let entries: Vec<LineAddr> = m.controller(node).mlt.iter().copied().collect();
-            match &reference {
-                None => reference = Some(entries),
-                Some(r) => {
-                    if *r != entries {
-                        return Err(CoherenceViolation::MltInconsistent {
-                            col,
-                            detail: format!("replica at {node} diverges"),
-                        });
-                    }
-                }
-            }
-        }
-        let table: LineSet = reference.unwrap_or_default().into_iter().collect();
-        let actual: LineSet = owners
+        let mut table: Vec<LineAddr> = v.mlt_lines(NodeId::new(col));
+        table.sort_unstable_by_key(|l| l.index());
+        let table: LineSet = table.into_iter().collect();
+        let actual: LineSet = g
+            .owners
             .iter()
             .filter(|(_, node)| node.index() % n == col)
             .map(|(line, _)| *line)
@@ -286,46 +482,42 @@ pub fn check(m: &Machine) -> Result<(), CoherenceViolation> {
     }
 
     // 6. Processor-cache subset property (§2).
-    for node_idx in 0..(n * n) {
-        let node = NodeId::new(node_idx);
-        let ctrl = m.controller(node);
-        if let Some(l1) = ctrl.proc_cache.as_ref() {
-            for (line, _) in l1.iter() {
-                if !ctrl.cache.contains(&line) {
-                    return Err(CoherenceViolation::SubsetViolation { node, line });
+    check_l1_subset(v)?;
+
+    // 7. Registry sanity.
+    check_registry(v, &g)?;
+
+    // 8. No leaked watchdog escalations.
+    if let Some(txn) = v.escalated() {
+        return Err(CoherenceViolation::EscalationLeak { txn });
+    }
+
+    Ok(())
+}
+
+/// MLT replica agreement: within each column every node's replica holds
+/// the same set of lines.
+fn check_mlt_replicas(v: &dyn CoherenceView) -> Result<(), CoherenceViolation> {
+    let n = v.side();
+    for col in 0..n {
+        let mut reference: Option<Vec<LineAddr>> = None;
+        for row in 0..n {
+            let node = NodeId::new(row * n + col);
+            let mut entries = v.mlt_lines(node);
+            entries.sort_unstable_by_key(|l| l.index());
+            match &reference {
+                None => reference = Some(entries),
+                Some(r) => {
+                    if *r != entries {
+                        return Err(CoherenceViolation::MltInconsistent {
+                            col,
+                            detail: format!("replica at {node} diverges"),
+                        });
+                    }
                 }
             }
         }
     }
-
-    // 7. Registry sanity.
-    for &line in &owned_lines {
-        let node = owners[&line];
-        if m.registry_owner(line) != Some(node) {
-            return Err(CoherenceViolation::RegistryMismatch {
-                line,
-                detail: format!("cache owner {node} not in registry"),
-            });
-        }
-    }
-    // Smallest offending address, not whichever the hash order yields
-    // first: stray-registry-entry reports must be stable run to run.
-    if let Some((line, node)) = m
-        .registry_entries()
-        .filter(|(l, _)| !owners.contains_key(l))
-        .min_by_key(|(l, _)| l.index())
-    {
-        return Err(CoherenceViolation::RegistryMismatch {
-            line,
-            detail: format!("registry claims {node} but no cache holds it modified"),
-        });
-    }
-
-    // 8. No leaked watchdog escalations.
-    if let Some(txn) = m.escalated_txn() {
-        return Err(CoherenceViolation::EscalationLeak { txn });
-    }
-
     Ok(())
 }
 
@@ -338,8 +530,8 @@ pub fn check(m: &Machine) -> Result<(), CoherenceViolation> {
 /// # Errors
 ///
 /// The first violation found.
-pub fn check_mesi(m: &Machine) -> Result<(), CoherenceViolation> {
-    check_arena(m, false)
+pub fn check_mesi(v: &dyn CoherenceView) -> Result<(), CoherenceViolation> {
+    check_arena(v, false)
 }
 
 /// Quiescent invariants of the single-bus Dragon engine: single writer,
@@ -351,52 +543,92 @@ pub fn check_mesi(m: &Machine) -> Result<(), CoherenceViolation> {
 /// # Errors
 ///
 /// The first violation found.
-pub fn check_dragon(m: &Machine) -> Result<(), CoherenceViolation> {
-    check_arena(m, true)
+pub fn check_dragon(v: &dyn CoherenceView) -> Result<(), CoherenceViolation> {
+    check_arena(v, true)
+}
+
+/// Runs the quiescent invariant suite appropriate for `kind` against any
+/// coherence view. This is how the model checker judges its states with
+/// the same predicates the simulator runs at quiescence.
+///
+/// # Errors
+///
+/// The first violation found.
+pub fn check_engine(kind: EngineKind, v: &dyn CoherenceView) -> Result<(), CoherenceViolation> {
+    match kind {
+        EngineKind::Multicube => check(v),
+        EngineKind::Mesi => check_mesi(v),
+        EngineKind::Dragon => check_dragon(v),
+    }
+}
+
+/// The invariant subset that holds at *every* event boundary, not only at
+/// quiescence: the registry mirrors the caches (both directions), L1 is a
+/// strict subset of L2, no structure holds a version newer than the
+/// committed one, and MLT replicas within a column agree. Transiently-
+/// violable invariants (single writer during an invalidation chain, the
+/// valid bit during a memory bounce, MLT-vs-cache equality while a column
+/// op is in flight) are deliberately excluded.
+///
+/// Engine-independent: arena engines keep the MLT empty, so replica
+/// agreement holds trivially.
+///
+/// # Errors
+///
+/// The first violation found.
+pub fn check_midflight(v: &dyn CoherenceView) -> Result<(), CoherenceViolation> {
+    let n = v.side();
+    let g = gather(v)?;
+    check_registry(v, &g)?;
+    check_l1_subset(v)?;
+    check_mlt_replicas(v)?;
+    // No structure may hold a version from the future.
+    for node_idx in 0..(n * n) {
+        let node = NodeId::new(node_idx);
+        for (line, _, data) in v.resident(node) {
+            if data > v.committed_version(line) {
+                return Err(CoherenceViolation::StaleValue {
+                    line,
+                    holder: format!("{node} holds uncommitted version {data:?}"),
+                });
+            }
+        }
+    }
+    for line in v.memory_lines() {
+        if v.memory_data(line) > v.committed_version(line) {
+            return Err(CoherenceViolation::StaleValue {
+                line,
+                holder: format!(
+                    "memory column {} holds uncommitted version",
+                    v.home_column(line)
+                ),
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Shared invariant walk for the two arena engines. `update_based`
 /// selects Dragon's dirty-shared (`Sm`) semantics.
-fn check_arena(m: &Machine, update_based: bool) -> Result<(), CoherenceViolation> {
-    let n = m.side();
-    // Gather per-line cache state.
-    let mut owners: LineMap<NodeId> = LineMap::default();
-    let mut sharers: LineMap<Vec<NodeId>> = LineMap::default();
-    let mut reserved: LineMap<Vec<NodeId>> = LineMap::default();
-    for node_idx in 0..(n * n) {
-        let node = NodeId::new(node_idx);
-        let ctrl = m.controller(node);
-        for (line, cl) in ctrl.cache.iter() {
-            match cl.mode {
-                LineMode::Modified => {
-                    if let Some(prev) = owners.insert(line, node) {
-                        return Err(CoherenceViolation::MultipleWriters {
-                            line,
-                            nodes: (prev, node),
-                        });
-                    }
-                }
-                LineMode::Shared => sharers.entry(line).or_default().push(node),
-                LineMode::Reserved => reserved.entry(line).or_default().push(node),
-            }
-        }
-    }
+fn check_arena(v: &dyn CoherenceView, update_based: bool) -> Result<(), CoherenceViolation> {
+    let n = v.side();
+    let g = gather(v)?;
 
     // Report in line-address order so failures are stable run to run.
-    let mut owned_lines: Vec<LineAddr> = owners.keys().copied().collect();
+    let mut owned_lines: Vec<LineAddr> = g.owners.keys().copied().collect();
     owned_lines.sort_unstable_by_key(|l| l.index());
 
     // An M copy is the sole copy.
     for &line in &owned_lines {
-        let owner = owners[&line];
-        if let Some(&sharer) = sharers.get(&line).and_then(|s| s.first()) {
+        let owner = g.owners[&line];
+        if let Some(&sharer) = g.sharers.get(&line).and_then(|s| s.first()) {
             return Err(CoherenceViolation::ModifiedWithSharers {
                 line,
                 owner,
                 sharer,
             });
         }
-        if let Some(&holder) = reserved.get(&line).and_then(|r| r.first()) {
+        if let Some(&holder) = g.reserved.get(&line).and_then(|r| r.first()) {
             return Err(CoherenceViolation::RegistryMismatch {
                 line,
                 detail: format!("{holder} holds an exclusive-clean copy alongside owner {owner}"),
@@ -405,10 +637,11 @@ fn check_arena(m: &Machine, update_based: bool) -> Result<(), CoherenceViolation
     }
 
     // An E copy is the sole copy, and the side table matches the caches.
-    let mut reserved_lines: Vec<LineAddr> = reserved.keys().copied().collect();
+    let excl: LineMap<NodeId> = v.excl_entries().into_iter().collect();
+    let mut reserved_lines: Vec<LineAddr> = g.reserved.keys().copied().collect();
     reserved_lines.sort_unstable_by_key(|l| l.index());
     for &line in &reserved_lines {
-        let holders = &reserved[&line];
+        let holders = &g.reserved[&line];
         if holders.len() > 1 {
             return Err(CoherenceViolation::RegistryMismatch {
                 line,
@@ -418,7 +651,7 @@ fn check_arena(m: &Machine, update_based: bool) -> Result<(), CoherenceViolation
                 ),
             });
         }
-        if let Some(&sharer) = sharers.get(&line).and_then(|s| s.first()) {
+        if let Some(&sharer) = g.sharers.get(&line).and_then(|s| s.first()) {
             return Err(CoherenceViolation::RegistryMismatch {
                 line,
                 detail: format!(
@@ -427,7 +660,7 @@ fn check_arena(m: &Machine, update_based: bool) -> Result<(), CoherenceViolation
                 ),
             });
         }
-        if m.arena_excl.get(&line) != Some(&holders[0]) {
+        if excl.get(&line) != Some(&holders[0]) {
             return Err(CoherenceViolation::RegistryMismatch {
                 line,
                 detail: format!(
@@ -437,10 +670,9 @@ fn check_arena(m: &Machine, update_based: bool) -> Result<(), CoherenceViolation
             });
         }
     }
-    if let Some((line, node)) = m
-        .arena_excl
+    if let Some((line, node)) = excl
         .iter()
-        .filter(|(l, _)| !reserved.contains_key(l))
+        .filter(|(l, _)| !g.reserved.contains_key(l))
         .map(|(l, n)| (*l, *n))
         .min_by_key(|(l, _)| l.index())
     {
@@ -452,17 +684,18 @@ fn check_arena(m: &Machine, update_based: bool) -> Result<(), CoherenceViolation
 
     // The Sm side table: a Dragon shared-modified holder must be a
     // resident sharer; MESI must never populate it.
-    let mut sm_lines: Vec<LineAddr> = m.arena_sm.keys().copied().collect();
+    let sm: LineMap<NodeId> = v.sm_entries().into_iter().collect();
+    let mut sm_lines: Vec<LineAddr> = sm.keys().copied().collect();
     sm_lines.sort_unstable_by_key(|l| l.index());
     for &line in &sm_lines {
-        let holder = m.arena_sm[&line];
+        let holder = sm[&line];
         if !update_based {
             return Err(CoherenceViolation::RegistryMismatch {
                 line,
                 detail: format!("Sm side table claims {holder} under a write-invalidate engine"),
             });
         }
-        let is_sharer = sharers.get(&line).is_some_and(|s| s.contains(&holder));
+        let is_sharer = g.sharers.get(&line).is_some_and(|s| s.contains(&holder));
         if !is_sharer {
             return Err(CoherenceViolation::RegistryMismatch {
                 line,
@@ -472,21 +705,9 @@ fn check_arena(m: &Machine, update_based: bool) -> Result<(), CoherenceViolation
     }
 
     // Valid bit and value integrity over every line any structure knows.
-    let mut lines: LineSet = LineSet::default();
-    lines.extend(owners.keys().copied());
-    lines.extend(sharers.keys().copied());
-    lines.extend(reserved.keys().copied());
-    for col in 0..n {
-        for (line, _, _) in m.memory(col).touched_lines() {
-            lines.insert(line);
-        }
-    }
-    let mut lines: Vec<LineAddr> = lines.into_iter().collect();
-    lines.sort_unstable_by_key(|l| l.index());
-    for line in lines {
-        let col = m.home_column(line);
-        let memory_valid = m.memory(col).is_valid(&line);
-        let dirty = owners.contains_key(&line) || m.arena_sm.contains_key(&line);
+    for line in known_lines(v, &g) {
+        let memory_valid = v.memory_valid(line);
+        let dirty = g.owners.contains_key(&line) || sm.contains_key(&line);
         if memory_valid == dirty {
             return Err(CoherenceViolation::ValidBitMismatch {
                 line,
@@ -494,18 +715,18 @@ fn check_arena(m: &Machine, update_based: bool) -> Result<(), CoherenceViolation
                 has_owner: dirty,
             });
         }
-        let latest = m.committed_version(line);
-        if !dirty && m.memory(col).peek(&line) != latest {
+        let latest = v.committed_version(line);
+        if !dirty && v.memory_data(line) != latest {
             return Err(CoherenceViolation::StaleValue {
                 line,
-                holder: format!("memory column {col}"),
+                holder: format!("memory column {}", v.home_column(line)),
             });
         }
         // Every resident copy holds the latest committed version: under
         // MESI because writers are sole holders, under Dragon because
         // updates refresh every copy in place.
-        if let Some(&owner) = owners.get(&line) {
-            let held = m.controller(owner).data_of(&line);
+        if let Some(&owner) = g.owners.get(&line) {
+            let held = g.version_at(owner, line);
             if held != Some(latest) {
                 return Err(CoherenceViolation::StaleValue {
                     line,
@@ -513,13 +734,14 @@ fn check_arena(m: &Machine, update_based: bool) -> Result<(), CoherenceViolation
                 });
             }
         }
-        for holder in sharers
+        for holder in g
+            .sharers
             .get(&line)
             .into_iter()
             .flatten()
-            .chain(reserved.get(&line).into_iter().flatten())
+            .chain(g.reserved.get(&line).into_iter().flatten())
         {
-            let held = m.controller(*holder).data_of(&line);
+            let held = g.version_at(*holder, line);
             if held != Some(latest) {
                 return Err(CoherenceViolation::StaleValue {
                     line,
@@ -533,45 +755,20 @@ fn check_arena(m: &Machine, update_based: bool) -> Result<(), CoherenceViolation
     // replica empty.
     for node_idx in 0..(n * n) {
         let node = NodeId::new(node_idx);
-        let ctrl = m.controller(node);
-        if let Some(&line) = ctrl.mlt.iter().next() {
+        if let Some(&line) = v.mlt_lines(node).first() {
             return Err(CoherenceViolation::MltInconsistent {
                 col: node.index() % n,
                 detail: format!("arena engine populated the MLT at {node} with {line:?}"),
             });
         }
-        if let Some(l1) = ctrl.proc_cache.as_ref() {
-            for (line, _) in l1.iter() {
-                if !ctrl.cache.contains(&line) {
-                    return Err(CoherenceViolation::SubsetViolation { node, line });
-                }
-            }
-        }
     }
+    check_l1_subset(v)?;
 
     // Registry sanity (both directions).
-    for &line in &owned_lines {
-        let node = owners[&line];
-        if m.registry_owner(line) != Some(node) {
-            return Err(CoherenceViolation::RegistryMismatch {
-                line,
-                detail: format!("cache owner {node} not in registry"),
-            });
-        }
-    }
-    if let Some((line, node)) = m
-        .registry_entries()
-        .filter(|(l, _)| !owners.contains_key(l))
-        .min_by_key(|(l, _)| l.index())
-    {
-        return Err(CoherenceViolation::RegistryMismatch {
-            line,
-            detail: format!("registry claims {node} but no cache holds it modified"),
-        });
-    }
+    check_registry(v, &g)?;
 
     // No leaked watchdog escalations.
-    if let Some(txn) = m.escalated_txn() {
+    if let Some(txn) = v.escalated() {
         return Err(CoherenceViolation::EscalationLeak { txn });
     }
 

@@ -205,6 +205,9 @@ pub struct MachineConfig {
     broadcast_filter: bool,
     /// When true, the coherence checker runs during the simulation.
     checking: bool,
+    /// Run the mid-flight invariant subset every this many delivered
+    /// events; 0 disables (the default).
+    check_every: u64,
     /// Which protocol engine drives the machine.
     engine: EngineKind,
     /// Whether the deprecated `with_signal_drop_probability` shim ran.
@@ -243,6 +246,7 @@ impl MachineConfig {
             watchdog: Watchdog::default(),
             broadcast_filter: false,
             checking: true,
+            check_every: 0,
             engine: EngineKind::Multicube,
             shim_signal_drop: false,
             explicit_fault_plan: false,
@@ -401,6 +405,17 @@ impl MachineConfig {
         self
     }
 
+    /// Runs the mid-flight coherence-invariant subset
+    /// ([`check_midflight`](crate::check::check_midflight)) every `n`
+    /// delivered events, panicking on the first violation — catching
+    /// transiently-bad states the end-of-run quiescent check would miss.
+    /// `0` disables (the default); chaos tests enable it.
+    #[must_use]
+    pub fn with_check_every(mut self, n: u64) -> Self {
+        self.check_every = n;
+        self
+    }
+
     /// Validates the configuration, returning derived line geometry.
     ///
     /// # Errors
@@ -419,6 +434,17 @@ impl MachineConfig {
         }
         self.faults.validate()?;
         self.retry.validate()?;
+        // The arena engines have no fault handling: their snoop and retry
+        // paths would silently ignore every injected fault, making a
+        // "faulted" run indistinguishable from a clean one. Reject the
+        // combination instead of letting it lie.
+        if self.engine != EngineKind::Multicube && self.faults.is_active() {
+            return Err(MachineConfigError::Fault(
+                FaultConfigError::UnsupportedByEngine {
+                    engine: self.engine.name(),
+                },
+            ));
+        }
         Ok(geom)
     }
 
@@ -511,6 +537,11 @@ impl MachineConfig {
     /// Whether runtime coherence checking is enabled.
     pub fn checking(&self) -> bool {
         self.checking
+    }
+
+    /// Mid-flight check cadence in delivered events (0 = disabled).
+    pub fn check_every(&self) -> u64 {
+        self.check_every
     }
 }
 
@@ -642,6 +673,45 @@ mod tests {
                 FaultConfigError::BadBackoff { .. }
             ))
         ));
+    }
+
+    #[test]
+    fn arena_engines_reject_active_fault_plans() {
+        for engine in [EngineKind::Mesi, EngineKind::Dragon] {
+            let c = MachineConfig::grid(4)
+                .unwrap()
+                .with_engine(engine)
+                .with_fault_plan(FaultPlan::default().with_op_loss(0.1));
+            assert_eq!(
+                c.validate(),
+                Err(MachineConfigError::Fault(
+                    FaultConfigError::UnsupportedByEngine {
+                        engine: engine.name()
+                    }
+                )),
+                "{engine}: active plan must be rejected"
+            );
+            // An explicitly installed *inert* plan is fine.
+            let c = MachineConfig::grid(4)
+                .unwrap()
+                .with_engine(engine)
+                .with_fault_plan(FaultPlan::default());
+            assert!(c.validate().is_ok(), "{engine}: inert plan is allowed");
+        }
+        // The default engine keeps full fault support.
+        let c = MachineConfig::grid(4)
+            .unwrap()
+            .with_fault_plan(FaultPlan::default().with_op_loss(0.1));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn check_every_defaults_off_and_round_trips() {
+        let c = MachineConfig::grid(4).unwrap();
+        assert_eq!(c.check_every(), 0);
+        let c = c.with_check_every(64);
+        assert_eq!(c.check_every(), 64);
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -74,6 +74,12 @@ pub enum FaultConfigError {
         /// Configured cap (ns).
         cap_ns: u64,
     },
+    /// An active fault plan was paired with an engine that has no fault
+    /// handling (the single-bus arena engines model ideal buses).
+    UnsupportedByEngine {
+        /// The engine that cannot honor the plan.
+        engine: &'static str,
+    },
 }
 
 impl fmt::Display for FaultConfigError {
@@ -96,6 +102,12 @@ impl fmt::Display for FaultConfigError {
                 "retry backoff cap ({cap_ns} ns) is below the base delay \
                  ({base_ns} ns); set cap >= base (the cap bounds the \
                  exponential growth, it does not replace the base)"
+            ),
+            FaultConfigError::UnsupportedByEngine { engine } => write!(
+                f,
+                "fault plan is active but the `{engine}` engine has no fault \
+                 handling: its snoop/retry paths would silently ignore every \
+                 injected fault. Use the multicube engine, or clear the plan"
             ),
         }
     }

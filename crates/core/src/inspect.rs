@@ -11,6 +11,7 @@ use std::fmt::Write as _;
 use multicube_mem::LineAddr;
 use multicube_topology::NodeId;
 
+use crate::check::CoherenceView;
 use crate::machine::Machine;
 use crate::node::LineMode;
 
@@ -29,16 +30,16 @@ pub struct LineView {
     pub home_column: u32,
 }
 
-/// Collects the global state of every line resident anywhere.
-pub fn line_views(m: &Machine) -> Vec<LineView> {
-    let n = m.side();
+/// Collects the global state of every line resident anywhere. Works over
+/// any [`CoherenceView`] — the machine, or a model-checker state.
+pub fn line_views(v: &dyn CoherenceView) -> Vec<LineView> {
+    let n = v.side();
     let mut map: BTreeMap<LineAddr, (Option<NodeId>, Vec<NodeId>)> = BTreeMap::new();
     for idx in 0..(n * n) {
         let node = NodeId::new(idx);
-        let ctrl = m.controller(node);
-        for (line, cl) in ctrl.cache.iter() {
+        for (line, mode, _) in v.resident(node) {
             let entry = map.entry(line).or_default();
-            match cl.mode {
+            match mode {
                 LineMode::Modified => entry.0 = Some(node),
                 LineMode::Shared => entry.1.push(node),
                 LineMode::Reserved => {}
@@ -48,12 +49,12 @@ pub fn line_views(m: &Machine) -> Vec<LineView> {
     map.into_iter()
         .map(|(line, (owner, mut sharers))| {
             sharers.sort_unstable();
-            let home_column = m.home_column(line);
+            let home_column = v.home_column(line);
             LineView {
                 line,
                 owner,
                 sharers,
-                memory_valid: m.memory(home_column).is_valid(&line),
+                memory_valid: v.memory_valid(line),
                 home_column,
             }
         })

@@ -58,6 +58,7 @@ pub mod node;
 pub mod proto;
 pub mod trace;
 
+pub use check::{check_engine, CoherenceView, CoherenceViolation};
 pub use config::{EngineKind, LatencyMode, MachineConfig, MachineConfigError, Timing};
 pub use driver::{Request, RequestKind, SyntheticSpec};
 pub use fault::{FaultConfigError, FaultPlan, RetryPolicy, Watchdog, WatchdogAction};

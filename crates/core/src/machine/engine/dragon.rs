@@ -17,7 +17,7 @@
 
 use multicube_topology::NodeId;
 
-use crate::check::{self, CoherenceViolation};
+use crate::check::{self, CoherenceView, CoherenceViolation};
 use crate::config::EngineKind;
 use crate::driver::{Request, RequestKind};
 use crate::machine::Machine;
@@ -68,8 +68,8 @@ impl ProtocolEngine for DragonEngine {
         arena_local_done(m, &DRAGON_OPS, node);
     }
 
-    fn check(&self, m: &Machine) -> Result<(), CoherenceViolation> {
-        check::check_dragon(m)
+    fn check(&self, v: &dyn CoherenceView) -> Result<(), CoherenceViolation> {
+        check::check_dragon(v)
     }
 }
 

@@ -15,7 +15,7 @@
 
 use multicube_topology::NodeId;
 
-use crate::check::{self, CoherenceViolation};
+use crate::check::{self, CoherenceView, CoherenceViolation};
 use crate::config::EngineKind;
 use crate::driver::{Request, RequestKind};
 use crate::machine::Machine;
@@ -67,8 +67,8 @@ impl ProtocolEngine for MesiEngine {
         arena_local_done(m, &MESI_OPS, node);
     }
 
-    fn check(&self, m: &Machine) -> Result<(), CoherenceViolation> {
-        check::check_mesi(m)
+    fn check(&self, v: &dyn CoherenceView) -> Result<(), CoherenceViolation> {
+        check::check_mesi(v)
     }
 }
 

@@ -32,7 +32,7 @@ pub(crate) mod multicube;
 use multicube_mem::LineAddr;
 use multicube_topology::NodeId;
 
-use crate::check::CoherenceViolation;
+use crate::check::{CoherenceView, CoherenceViolation};
 use crate::config::EngineKind;
 use crate::driver::{Request, RequestKind};
 use crate::machine::{Event, Machine};
@@ -71,12 +71,13 @@ pub trait ProtocolEngine: Send + Sync {
     /// A local (bus-free) cache access finished its latency.
     fn on_local_done(&self, m: &mut Machine, node: NodeId);
 
-    /// The engine's quiescent coherence invariants.
+    /// The engine's quiescent coherence invariants, run over any
+    /// [`CoherenceView`] (the machine itself, or a model-checker state).
     ///
     /// # Errors
     ///
     /// The first violated invariant.
-    fn check(&self, m: &Machine) -> Result<(), CoherenceViolation>;
+    fn check(&self, v: &dyn CoherenceView) -> Result<(), CoherenceViolation>;
 }
 
 /// The engine implementing `kind`.

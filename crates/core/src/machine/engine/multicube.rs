@@ -6,7 +6,7 @@
 
 use multicube_topology::NodeId;
 
-use crate::check::{self, CoherenceViolation};
+use crate::check::{self, CoherenceView, CoherenceViolation};
 use crate::config::EngineKind;
 use crate::driver::Request;
 use crate::machine::Machine;
@@ -34,7 +34,7 @@ impl ProtocolEngine for MulticubeEngine {
         m.on_local_done_multicube(node);
     }
 
-    fn check(&self, m: &Machine) -> Result<(), CoherenceViolation> {
-        check::check(m)
+    fn check(&self, v: &dyn CoherenceView) -> Result<(), CoherenceViolation> {
+        check::check(v)
     }
 }

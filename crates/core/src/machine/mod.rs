@@ -203,6 +203,8 @@ pub struct Machine {
     /// would deliver them.
     batch: Vec<Event>,
     batch_pos: usize,
+    /// Events delivered so far (drives the `check_every` cadence).
+    delivered: u64,
     completions: VecDeque<Completion>,
     pub(crate) synthetic: Option<SyntheticState>,
     /// Structured trace destination, chosen once at construction.
@@ -271,6 +273,7 @@ impl Machine {
             metrics: MachineMetrics::default(),
             batch: Vec::new(),
             batch_pos: 0,
+            delivered: 0,
             completions: VecDeque::new(),
             synthetic: None,
             trace: TraceSink::from_env(),
@@ -587,6 +590,17 @@ impl Machine {
             Event::LocalDone { node } => self.on_local_done(node),
             Event::EarlyComplete { node, txn, data } => {
                 self.install_and_finish(node, txn, data, true, false)
+            }
+        }
+        self.delivered += 1;
+        let every = self.config.check_every();
+        if every > 0 && self.delivered.is_multiple_of(every) {
+            if let Err(v) = crate::check::check_midflight(self) {
+                panic!(
+                    "mid-flight coherence violation after {} events at t={}: {v}",
+                    self.delivered,
+                    self.now()
+                );
             }
         }
     }

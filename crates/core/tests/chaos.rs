@@ -106,7 +106,8 @@ proptest! {
         let config = MachineConfig::grid(3)
             .unwrap()
             .with_fault_plan(plan_of(loss, nack, drop, extra))
-            .with_retry_policy(RetryPolicy::default().with_backoff(100, 10_000));
+            .with_retry_policy(RetryPolicy::default().with_backoff(100, 10_000))
+            .with_check_every(25);
         let mut m = Machine::new(config, seed).unwrap();
         let completions = replay(&mut m, &ops, 12);
         prop_assert_eq!(completions as usize, ops.len());
@@ -126,7 +127,8 @@ proptest! {
         let config = MachineConfig::grid(3)
             .unwrap()
             .with_fault_plan(plan_of(loss, nack, drop, extra))
-            .with_retry_policy(RetryPolicy::default().with_backoff(200, 25_000));
+            .with_retry_policy(RetryPolicy::default().with_backoff(200, 25_000))
+            .with_check_every(25);
         let mut m = Machine::new(config, seed).unwrap();
         let completions = replay_concurrent(&mut m, &ops, 6);
         prop_assert_eq!(completions as usize, ops.len());
@@ -142,7 +144,8 @@ proptest! {
         let config = MachineConfig::grid(3)
             .unwrap()
             .with_mlt_capacity(2)
-            .with_fault_plan(FaultPlan::default().with_op_loss(loss as f64 / 100.0));
+            .with_fault_plan(FaultPlan::default().with_op_loss(loss as f64 / 100.0))
+            .with_check_every(25);
         let mut m = Machine::new(config, 47).unwrap();
         let completions = replay(&mut m, &ops, 24);
         prop_assert_eq!(completions as usize, ops.len());

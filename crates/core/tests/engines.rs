@@ -6,7 +6,10 @@
 //! Appendix-A chains.
 
 use multicube::trace::{TracePoint, TraceSink};
-use multicube::{EngineKind, LineMode, Machine, MachineConfig, OpKind, Request, SyntheticSpec};
+use multicube::{
+    EngineKind, LineMode, Machine, MachineConfig, OpKind, Request, SyntheticSpec, Timing, Watchdog,
+    WatchdogAction,
+};
 use multicube_mem::LineAddr;
 
 fn grid4(engine: EngineKind) -> Machine {
@@ -93,6 +96,146 @@ fn arena_engines_are_deterministic() {
         };
         assert_eq!(run(9), run(9), "{engine}: same seed must reproduce");
         assert_ne!(run(9), run(10), "{engine}: different seeds must diverge");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Watchdog coverage across engines
+// ---------------------------------------------------------------------
+
+/// Timing that makes the local-access race deterministic: the snooping
+/// cache is glacial (a local hit stays in flight for 50 us) while buses
+/// and memory are fast, so a rival's bus transaction always snoops the
+/// line away mid-access and forces a fault-free retry.
+fn race_timing() -> Timing {
+    Timing {
+        word_ns: 5,
+        addr_op_ns: 5,
+        snoop_latency_ns: 50_000,
+        memory_latency_ns: 20,
+    }
+}
+
+/// Drives one fault-free contention race that must end in a retry under
+/// `engine`: node `a` starts a local cache access, node `b`'s bus
+/// transaction snoops the line away mid-access (Multicube and MESI purge
+/// it, Dragon downgrades the exclusive-clean copy), and `a`'s local
+/// completion restarts over the bus — recording the retry the watchdog
+/// judges. Returns the machine and the completion count.
+fn run_contended(engine: EngineKind, watchdog: Watchdog) -> (Machine, usize) {
+    let config = MachineConfig::grid(4)
+        .unwrap()
+        .with_engine(engine)
+        .with_timing(race_timing())
+        .with_watchdog(watchdog);
+    let mut m = Machine::new(config, 11).unwrap();
+    let line = LineAddr::new(3);
+    let a = m.config().topology().node(0, 0);
+    let b = m.config().topology().node(1, 1);
+
+    // Setup: `a` alone holds the line — Shared under Multicube (reads
+    // install shared copies), exclusive-clean under the arena engines.
+    m.submit(a, Request::read(line)).unwrap();
+    m.run_to_quiescence();
+
+    // The race: `a`'s access is a local hit that waits out the slow
+    // cache; `b`'s bus transaction lands long before it completes.
+    let (a_req, b_req) = match engine {
+        // `b`'s write invalidates `a`'s shared copy out from under the
+        // local read.
+        EngineKind::Multicube => (Request::read(line), Request::write(line)),
+        // `b`'s read downgrades `a`'s E copy out from under the local
+        // (would-be silent) write upgrade.
+        EngineKind::Mesi | EngineKind::Dragon => (Request::write(line), Request::read(line)),
+    };
+    m.submit(a, a_req).unwrap();
+    m.submit(b, b_req).unwrap();
+    let completions = m.run_to_quiescence().len();
+    (m, completions)
+}
+
+/// Escalation under every engine: the contention retry trips a 1 ns age
+/// budget, escalation completes both transactions, and the quiescent
+/// machine is coherent with no leaked escalations.
+#[test]
+fn watchdog_escalate_trips_and_recovers_for_every_engine() {
+    for engine in EngineKind::all() {
+        let wd = Watchdog::default()
+            .with_age_budget_ns(1)
+            .with_action(WatchdogAction::Escalate);
+        let (m, completions) = run_contended(engine, wd);
+        assert_eq!(completions, 2, "{engine}: both contenders complete");
+        assert!(
+            m.metrics().watchdog_trips.get() > 0,
+            "{engine}: the contention retry must trip the age watchdog"
+        );
+        m.check_coherence()
+            .unwrap_or_else(|v| panic!("{engine}: coherence violated after escalation: {v}"));
+    }
+}
+
+/// An ample watchdog stays silent on the very same race, for every
+/// engine: one genuine retry is far below any sane budget.
+#[test]
+fn watchdog_stays_silent_on_ordinary_contention_for_every_engine() {
+    for engine in EngineKind::all() {
+        let (m, completions) = run_contended(engine, Watchdog::default());
+        assert_eq!(completions, 2, "{engine}: both contenders complete");
+        assert_eq!(
+            m.metrics().watchdog_trips.get(),
+            0,
+            "{engine}: the default budget must not trip on one retry"
+        );
+        m.check_coherence().unwrap();
+    }
+}
+
+#[test]
+#[should_panic(expected = "watchdog")]
+fn multicube_fail_fast_watchdog_panics_on_contention() {
+    let wd = Watchdog::default()
+        .with_age_budget_ns(1)
+        .with_action(WatchdogAction::FailFast);
+    run_contended(EngineKind::Multicube, wd);
+}
+
+#[test]
+#[should_panic(expected = "watchdog")]
+fn mesi_fail_fast_watchdog_panics_on_contention() {
+    let wd = Watchdog::default()
+        .with_age_budget_ns(1)
+        .with_action(WatchdogAction::FailFast);
+    run_contended(EngineKind::Mesi, wd);
+}
+
+#[test]
+#[should_panic(expected = "watchdog")]
+fn dragon_fail_fast_watchdog_panics_on_contention() {
+    let wd = Watchdog::default()
+        .with_age_budget_ns(1)
+        .with_action(WatchdogAction::FailFast);
+    run_contended(EngineKind::Dragon, wd);
+}
+
+/// Satellite pin: an active fault plan on an arena engine is a
+/// configuration error surfaced at machine construction, not a silent
+/// no-op (the arena engines have no fault handling).
+#[test]
+fn arena_engines_refuse_active_fault_plans_at_construction() {
+    use multicube::{FaultConfigError, FaultPlan, MachineConfigError};
+    for engine in [EngineKind::Mesi, EngineKind::Dragon] {
+        let config = MachineConfig::grid(4)
+            .unwrap()
+            .with_engine(engine)
+            .with_fault_plan(FaultPlan::default().with_signal_drop(0.2));
+        let err = Machine::new(config, 1).expect_err("construction must fail");
+        assert_eq!(
+            err,
+            MachineConfigError::Fault(FaultConfigError::UnsupportedByEngine {
+                engine: engine.name()
+            }),
+            "{engine}: active fault plan must be rejected"
+        );
     }
 }
 
