@@ -30,11 +30,11 @@
 
 use multicube_bench::{
     baseline_rows, costs_table, fault_sweep_rows, mlt_rows, render_bus_telemetry,
-    render_class_stats, render_failures, render_fault_sweep, render_resilience,
+    render_class_stats, render_cube_study, render_failures, render_fault_sweep, render_resilience,
     render_scaling_json, render_scaling_study, render_series, render_series_utilization,
-    render_shootout, robustness_rows, run_scaling_study, run_shootout, scaling_rows, series_view,
-    sim_figure2, sim_figure3, sim_figure4, sim_latency_modes, snarf_rows, sync_rows, Pool,
-    ScalingStudyConfig, SimSeries, SweepConfig,
+    render_shootout, robustness_rows, run_cube_study, run_scaling_study, run_shootout,
+    scaling_rows, series_view, sim_figure2, sim_figure3, sim_figure4, sim_latency_modes,
+    snarf_rows, sync_rows, CubeStudyConfig, Pool, ScalingStudyConfig, SimSeries, SweepConfig,
 };
 use multicube_mva::figures as mva;
 
@@ -246,8 +246,11 @@ fn scaling_formulas() {
 }
 
 /// The measured scaling study: the full n ∈ {8,16,24,32} (64–1024
-/// processor) efficiency + utilization sweep, written as
-/// `BENCH_scaling.json` alongside the printed table.
+/// processor) grid efficiency + utilization sweep, plus the parallel-DES
+/// cube study (n³ = 512–32768 processors through the plane-sharded
+/// conservative scheduler), written together as `BENCH_scaling.json`
+/// alongside the printed tables. Quick mode records only deterministic
+/// cube fields, so the artifact is byte-identical at every worker count.
 fn scaling_study(opts: &Options) {
     let mut cfg = if opts.quick {
         ScalingStudyConfig::quick()
@@ -259,7 +262,14 @@ fn scaling_study(opts: &Options) {
     }
     let study = run_scaling_study(&opts.pool, &cfg);
     println!("{}", render_scaling_study(&study));
-    let json = render_scaling_json(&study);
+    let cube_cfg = if opts.quick {
+        CubeStudyConfig::quick(opts.pool.workers())
+    } else {
+        CubeStudyConfig::full(opts.pool.workers())
+    };
+    let cube = run_cube_study(&cube_cfg);
+    println!("{}", render_cube_study(&cube));
+    let json = render_scaling_json(&study, Some(&cube));
     std::fs::write(&opts.scaling_out, &json).expect("write scaling json");
     eprintln!("wrote {}", opts.scaling_out.display());
 }

@@ -8,10 +8,11 @@
 //! repeats, and writes median/MAD/p90 results as JSON (default
 //! `BENCH_core.json` in the current directory). `--baseline` embeds a
 //! previous report's medians and the speedup against them. `--guard`
-//! additionally fails the run when `machine_1k_transactions` regresses
-//! more than `MULTICUBE_PERF_GUARD_PCT` percent (default 25) against the
-//! baseline, comparing per work unit so `--quick` runs measure against
-//! full-mode baselines.
+//! additionally fails the run when a guarded kernel
+//! (`machine_1k_transactions` or `cube_pdes_events`) regresses more than
+//! `MULTICUBE_PERF_GUARD_PCT` percent (default 25) against the baseline,
+//! comparing per work unit so `--quick` runs measure against full-mode
+//! baselines.
 
 use std::process::ExitCode;
 
@@ -20,8 +21,10 @@ use multicube_bench::perf::{
     PerfConfig,
 };
 
-/// The kernel the CI regression guard watches.
-const GUARD_KERNEL: &str = "machine_1k_transactions";
+/// The kernels the CI regression guard watches: the serial machine core
+/// and the conservative-parallel scheduler's events/sec kernel. A
+/// baseline predating a kernel is skipped gracefully for that kernel.
+const GUARD_KERNELS: [&str; 2] = ["machine_1k_transactions", "cube_pdes_events"];
 
 fn main() -> ExitCode {
     let mut quick = false;
@@ -132,11 +135,13 @@ fn main() -> ExitCode {
             .and_then(|v| v.parse::<f64>().ok())
             .unwrap_or(25.0);
         let base_text = baseline_text.as_deref().expect("guard requires baseline");
-        match check_regression_guard(&json, base_text, GUARD_KERNEL, threshold) {
-            Ok(msg) => eprintln!("perf: {msg}"),
-            Err(msg) => {
-                eprintln!("perf: REGRESSION: {msg}");
-                return ExitCode::FAILURE;
+        for kernel in GUARD_KERNELS {
+            match check_regression_guard(&json, base_text, kernel, threshold) {
+                Ok(msg) => eprintln!("perf: {msg}"),
+                Err(msg) => {
+                    eprintln!("perf: REGRESSION: {msg}");
+                    return ExitCode::FAILURE;
+                }
             }
         }
     }

@@ -25,7 +25,8 @@ pub use csv::{
 };
 pub use multicube_sim::pool::Pool;
 pub use scaling::{
-    render_scaling_json, render_scaling_study, run_scaling_study, validate_scaling_report,
+    render_cube_study, render_scaling_json, render_scaling_study, run_cube_study,
+    run_scaling_study, validate_scaling_report, CubePoint, CubeStudy, CubeStudyConfig, CubeTiming,
     ScalingPoint, ScalingStudy, ScalingStudyConfig, SCALING_SCHEMA,
 };
 pub use shootout::{render_shootout, run_shootout, shootout_point_seed, Shootout, ShootoutRow};

@@ -270,6 +270,34 @@ fn kernel_queue_churn(quick: bool) -> u64 {
     acc
 }
 
+/// Machine events one `cube_pdes_events` pass delivers — measured once
+/// and fixed (the run is deterministic), so per-unit guard comparisons
+/// are events-based: the kernel's figure of merit is events per second
+/// through the conservative parallel scheduler.
+pub const CUBE_PDES_EVENTS: u64 = 14_033;
+
+/// The `cube_pdes_events` kernel: a 4-plane cube (4^3 = 64 processors)
+/// with synthetic workloads per plane and cross-plane depth traffic,
+/// executed through the conservative parallel scheduler at one worker —
+/// the serial reference path, so the number is free of thread-scheduling
+/// noise and measures the PDES machinery itself (rounds, horizon
+/// computation, message routing) on top of the machine cores.
+///
+/// NOT scaled down in quick mode, for the same reason as
+/// `kernel_machine_1k`: this kernel is CI-guarded per work unit against
+/// the committed full-mode report.
+fn kernel_cube_pdes(_quick: bool) -> u64 {
+    let mut cfg = multicube::pdes::CubeConfig::new(4);
+    cfg.txns_per_node = 32;
+    cfg.remote_ops = 128;
+    cfg.remote_gap_ns = 300.0;
+    cfg.seed = 0x5EED;
+    cfg.workers = 1;
+    cfg.check = false;
+    let report = multicube::pdes::run_cube(&cfg);
+    report.events_delivered
+}
+
 /// One kernel whose body panicked: the harness reports it and keeps the
 /// other kernels' numbers instead of aborting the whole report.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -321,6 +349,13 @@ pub fn run_all(cfg: &PerfConfig) -> (Vec<KernelResult>, Vec<KernelFailure>) {
             "event-queue schedule/pop churn over the machine's delay mix",
             queue_churn_ops(quick),
             Box::new(move || kernel_queue_churn(quick)),
+        ),
+        (
+            "cube_pdes_events",
+            "4-plane cube (64 processors) through the conservative parallel \
+             scheduler, serial reference execution; units are machine events",
+            CUBE_PDES_EVENTS,
+            Box::new(move || kernel_cube_pdes(quick)),
         ),
     ];
     let names: Vec<&'static str> = kernels.iter().map(|(name, _, _, _)| *name).collect();
@@ -578,6 +613,7 @@ pub fn validate_report(text: &str) -> Result<(), String> {
         "synthetic_sweep",
         "faulted_run",
         "queue_churn",
+        "cube_pdes_events",
     ] {
         match medians.iter().find(|(n, _)| n == required) {
             None => return Err(format!("missing kernel {required}")),
@@ -652,19 +688,21 @@ mod tests {
         };
         let (results, failures) = run_all(&cfg);
         assert!(failures.is_empty(), "{failures:?}");
-        assert_eq!(results.len(), 4);
+        assert_eq!(results.len(), 5);
         let json = render_json(&cfg, &results, None);
         validate_report(&json).unwrap();
         let medians = extract_kernel_medians(&json);
-        assert_eq!(medians.len(), 4);
+        assert_eq!(medians.len(), 5);
         assert_eq!(medians[0].0, "machine_1k_transactions");
         assert_eq!(medians[0].1, results[0].median_ns);
         let stats = extract_kernel_stats(&json);
-        assert_eq!(stats.len(), 4);
-        // The guard kernel runs its full 1000-txn workload even in quick
-        // mode, so CI guard comparisons are like-for-like.
+        assert_eq!(stats.len(), 5);
+        // The guard kernels run their full workloads even in quick mode,
+        // so CI guard comparisons are like-for-like.
         assert_eq!(stats[0].work_units, 1_000);
         assert_eq!(stats[3].name, "queue_churn");
+        assert_eq!(stats[4].name, "cube_pdes_events");
+        assert_eq!(stats[4].work_units, CUBE_PDES_EVENTS);
         assert!(json.contains("\"p90_ns\""));
         assert!(json.contains("\"outliers\""));
     }
@@ -677,6 +715,14 @@ mod tests {
         let json = render_json(&cfg, &results, Some(&base));
         assert!(json.contains("\"baseline_median_ns\": 200"));
         assert!(json.contains("\"speedup_vs_baseline\": 2.0000"));
+    }
+
+    #[test]
+    fn cube_kernel_work_units_match_its_deterministic_delivery() {
+        // The cube run is fully deterministic, so the kernel's work-unit
+        // count can be pinned: a drift here means the PDES schedule (and
+        // therefore every committed fingerprint) changed.
+        assert_eq!(kernel_cube_pdes(true), CUBE_PDES_EVENTS);
     }
 
     #[test]

@@ -13,15 +13,18 @@
 //! study shares no RNG stream with the figure sweeps even at the default
 //! base seed.
 
+use multicube::pdes::{run_cube, CubeConfig};
 use multicube::{Machine, MachineConfig, SyntheticSpec};
 use multicube_sim::pool::Pool;
 use multicube_sim::{split_seed, stream_id};
 use std::fmt::Write as _;
+use std::time::Instant;
 
 use crate::simfig::PointFailure;
 
 /// Identifies the JSON layout; bump when the schema changes shape.
-pub const SCALING_SCHEMA: &str = "multicube-bench-scaling/v1";
+/// v2 added the `cube` section (the parallel-DES n³ scaling study).
+pub const SCALING_SCHEMA: &str = "multicube-bench-scaling/v2";
 
 /// The harness namespace folded into every point seed.
 const NAMESPACE: &str = "scaling";
@@ -164,6 +167,276 @@ pub fn run_scaling_study(pool: &Pool, config: &ScalingStudyConfig) -> ScalingStu
     }
 }
 
+/// Parameters of the parallel-DES cube study: full k = 3 Multicubes of
+/// `side` planes × `side`² processors each, executed through the
+/// conservative plane-sharded scheduler.
+#[derive(Debug, Clone)]
+pub struct CubeStudyConfig {
+    /// Cube sides to sweep (`n` ⇒ `n³` processors).
+    pub sides: Vec<u32>,
+    /// Blocking transactions per processor within each plane.
+    pub txns_per_node: u64,
+    /// Open-loop cross-plane depth-bus ops issued per plane.
+    pub remote_ops: u64,
+    /// Mean gap between a plane's remote issues (ns).
+    pub remote_gap_ns: f64,
+    /// Base RNG seed of the study.
+    pub seed: u64,
+    /// Worker threads for the parallel execution leg.
+    pub workers: usize,
+    /// Measure wall-clock serial-vs-parallel timing. Off in quick mode so
+    /// the JSON carries only deterministic fields and stays byte-identical
+    /// across worker counts for the CI determinism diff; the fingerprint
+    /// column (checked serial-vs-parallel inside the run) is the
+    /// worker-invariance evidence.
+    pub measure: bool,
+}
+
+impl CubeStudyConfig {
+    /// The full study: n ∈ {8, 16, 24, 32} — 512 to 32768 processors.
+    pub fn full(workers: usize) -> Self {
+        CubeStudyConfig {
+            sides: vec![8, 16, 24, 32],
+            txns_per_node: 4,
+            remote_ops: 256,
+            remote_gap_ns: 250.0,
+            seed: 0x5EED,
+            workers,
+            measure: true,
+        }
+    }
+
+    /// The CI smoke study: tiny cubes, deterministic fields only.
+    pub fn quick(workers: usize) -> Self {
+        CubeStudyConfig {
+            sides: vec![3, 4],
+            txns_per_node: 3,
+            remote_ops: 16,
+            remote_gap_ns: 200.0,
+            seed: 0x5EED,
+            workers,
+            measure: false,
+        }
+    }
+
+    fn cube_config(&self, side: u32, workers: usize) -> CubeConfig {
+        let mut cfg = CubeConfig::new(side);
+        cfg.txns_per_node = self.txns_per_node;
+        cfg.remote_ops = self.remote_ops;
+        cfg.remote_gap_ns = self.remote_gap_ns;
+        cfg.seed = split_seed(self.seed, stream_id(NAMESPACE, "cube"), u64::from(side));
+        cfg.workers = workers;
+        // The per-plane coherence checker is O(lines × nodes) per plane and
+        // orthogonal to what this study measures; the quick study keeps it
+        // on as a smoke check, the big full-mode cubes turn it off.
+        cfg.check = !self.measure;
+        cfg
+    }
+}
+
+/// Wall-clock comparison of the serial and parallel executions of one cube
+/// point. Full mode only: wall time is host-dependent by nature, so these
+/// fields never appear in the deterministic quick artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CubeTiming {
+    /// Worker threads the parallel leg ran with.
+    pub workers: usize,
+    /// Host threads available (`std::thread::available_parallelism`) —
+    /// context for reading the speedup: a 1-thread host cannot show one.
+    pub host_parallelism: usize,
+    /// Serial (1-worker) wall time, milliseconds.
+    pub serial_ms: f64,
+    /// Parallel wall time, milliseconds.
+    pub parallel_ms: f64,
+    /// `serial_ms / parallel_ms`.
+    pub speedup: f64,
+    /// Machine events per second, serial execution.
+    pub events_per_sec_serial: f64,
+    /// Machine events per second, parallel execution.
+    pub events_per_sec_parallel: f64,
+}
+
+/// One measured cube of the parallel-DES study. All fields except
+/// `timing` are deterministic functions of the configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CubePoint {
+    /// Cube side.
+    pub side: u32,
+    /// Total processors (`side³`).
+    pub processors: u64,
+    /// Transactions completed across all planes.
+    pub transactions: u64,
+    /// Cross-plane depth-bus ops serviced.
+    pub remote_ops: u64,
+    /// Machine events delivered across all planes.
+    pub events: u64,
+    /// Conservative-scheduler rounds.
+    pub rounds: u64,
+    /// Cross-shard messages routed.
+    pub messages: u64,
+    /// Mean plane efficiency.
+    pub mean_efficiency: f64,
+    /// The run's fingerprint (also asserted equal between the serial and
+    /// parallel legs before this point is recorded).
+    pub fingerprint: String,
+    /// Wall-clock comparison; `None` when the study has `measure` off.
+    pub timing: Option<CubeTiming>,
+}
+
+/// The cube study's outcome, in `sides` order.
+#[derive(Debug, Clone)]
+pub struct CubeStudy {
+    /// The configuration the study ran under.
+    pub config: CubeStudyConfig,
+    /// Measured cubes, ordered by side.
+    pub points: Vec<CubePoint>,
+}
+
+/// Runs the cube study. The scheduler parallelizes internally (across
+/// plane shards), so points run one at a time rather than on the pool —
+/// timing legs must not compete with sibling points for cores.
+///
+/// Every point executes serially first (the reference), then — when
+/// `config.workers > 1` or `config.measure` is set — in parallel, and the
+/// two fingerprints are asserted identical before the point is recorded:
+/// the committed artifact is itself a determinism proof.
+pub fn run_cube_study(config: &CubeStudyConfig) -> CubeStudy {
+    let points = config
+        .sides
+        .iter()
+        .map(|&side| {
+            // The first run doubles as the warmup: it faults in the
+            // point's working set, so the timed legs below both start
+            // with a warm allocator instead of the first-comer paying
+            // the cold-page cost (which biased whichever leg ran first
+            // by up to 3x before the warmup was split out).
+            let serial = run_cube(&config.cube_config(side, 1));
+            let fingerprint = serial.fingerprint();
+
+            let workers = config.workers.max(if config.measure { 2 } else { 1 });
+            let timing = if config.measure {
+                let start = Instant::now();
+                let serial_timed = run_cube(&config.cube_config(side, 1));
+                let serial_ms = start.elapsed().as_secs_f64() * 1e3;
+                assert_eq!(serial_timed.fingerprint(), fingerprint);
+                let start = Instant::now();
+                let parallel = run_cube(&config.cube_config(side, workers));
+                let parallel_ms = start.elapsed().as_secs_f64() * 1e3;
+                assert_eq!(
+                    parallel.fingerprint(),
+                    fingerprint,
+                    "cube side {side} diverged between 1 and {workers} workers"
+                );
+                Some(CubeTiming {
+                    workers,
+                    host_parallelism: std::thread::available_parallelism()
+                        .map(std::num::NonZero::get)
+                        .unwrap_or(1),
+                    serial_ms,
+                    parallel_ms,
+                    speedup: serial_ms / parallel_ms.max(f64::MIN_POSITIVE),
+                    events_per_sec_serial: serial.events_delivered as f64 / (serial_ms / 1e3),
+                    events_per_sec_parallel: parallel.events_delivered as f64 / (parallel_ms / 1e3),
+                })
+            } else {
+                if workers > 1 {
+                    let parallel = run_cube(&config.cube_config(side, workers));
+                    assert_eq!(
+                        parallel.fingerprint(),
+                        fingerprint,
+                        "cube side {side} diverged between 1 and {workers} workers"
+                    );
+                }
+                None
+            };
+
+            let transactions = serial
+                .planes
+                .iter()
+                .map(|p| p.run.transactions_completed)
+                .sum();
+            let remote_ops = serial.planes.iter().map(|p| p.depth.serviced).sum();
+            let mean_efficiency = serial.planes.iter().map(|p| p.run.efficiency).sum::<f64>()
+                / serial.planes.len() as f64;
+            CubePoint {
+                side,
+                processors: serial.processors,
+                transactions,
+                remote_ops,
+                events: serial.events_delivered,
+                rounds: serial.pdes.rounds,
+                messages: serial.pdes.messages,
+                mean_efficiency,
+                fingerprint,
+                timing,
+            }
+        })
+        .collect();
+    CubeStudy {
+        config: config.clone(),
+        points,
+    }
+}
+
+/// Renders the cube study as an ASCII table.
+pub fn render_cube_study(study: &CubeStudy) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== Cube scaling study (parallel DES): n = {} ==",
+        study
+            .config
+            .sides
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join("/")
+    );
+    let _ = writeln!(
+        out,
+        "{:>4} {:>7} {:>8} {:>7} {:>9} {:>7} {:>8} {:>8}  fingerprint",
+        "n", "procs", "txns", "remote", "events", "rounds", "msgs", "eff"
+    );
+    for p in &study.points {
+        let _ = writeln!(
+            out,
+            "{:>4} {:>7} {:>8} {:>7} {:>9} {:>7} {:>8} {:>8.4}  {}",
+            p.side,
+            p.processors,
+            p.transactions,
+            p.remote_ops,
+            p.events,
+            p.rounds,
+            p.messages,
+            p.mean_efficiency,
+            p.fingerprint
+        );
+    }
+    if study.points.iter().any(|p| p.timing.is_some()) {
+        let _ = writeln!(
+            out,
+            "{:>4} {:>8} {:>12} {:>12} {:>8} {:>14} {:>14}",
+            "n", "workers", "serial ms", "parallel ms", "speedup", "ev/s serial", "ev/s parallel"
+        );
+        for p in &study.points {
+            if let Some(t) = &p.timing {
+                let _ = writeln!(
+                    out,
+                    "{:>4} {:>8} {:>12.1} {:>12.1} {:>8.2} {:>14.0} {:>14.0}",
+                    p.side,
+                    t.workers,
+                    t.serial_ms,
+                    t.parallel_ms,
+                    t.speedup,
+                    t.events_per_sec_serial,
+                    t.events_per_sec_parallel
+                );
+            }
+        }
+    }
+    out
+}
+
 /// Renders the study as ASCII tables: one efficiency/utilization block per
 /// grid side, then the effective-parallelism summary across sides.
 pub fn render_scaling_study(study: &ScalingStudy) -> String {
@@ -213,8 +486,11 @@ pub fn render_scaling_study(study: &ScalingStudy) -> String {
     out
 }
 
-/// Renders the study as the `BENCH_scaling.json` artifact.
-pub fn render_scaling_json(study: &ScalingStudy) -> String {
+/// Renders the study as the `BENCH_scaling.json` artifact. `cube`, when
+/// present, is emitted as a `"cube"` section after the grid points; its
+/// timing fields appear only for full-mode (measured) studies, keeping
+/// quick-mode output free of host-dependent bytes.
+pub fn render_scaling_json(study: &ScalingStudy, cube: Option<&CubeStudy>) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"schema\": \"{SCALING_SCHEMA}\",");
@@ -248,19 +524,81 @@ pub fn render_scaling_json(study: &ScalingStudy) -> String {
             "    },\n"
         });
     }
-    out.push_str("  ]\n");
+    if let Some(cube) = cube {
+        out.push_str("  ],\n");
+        out.push_str("  \"cube\": {\n");
+        let _ = writeln!(out, "    \"seed\": {},", cube.config.seed);
+        let _ = writeln!(out, "    \"txns_per_node\": {},", cube.config.txns_per_node);
+        let _ = writeln!(
+            out,
+            "    \"remote_ops_per_plane\": {},",
+            cube.config.remote_ops
+        );
+        let sides: Vec<String> = cube.config.sides.iter().map(|n| n.to_string()).collect();
+        let _ = writeln!(out, "    \"sides\": [{}],", sides.join(", "));
+        out.push_str("    \"points\": [\n");
+        for (i, p) in cube.points.iter().enumerate() {
+            out.push_str("      {\n");
+            let _ = writeln!(out, "        \"side\": {},", p.side);
+            let _ = writeln!(out, "        \"processors\": {},", p.processors);
+            let _ = writeln!(out, "        \"transactions\": {},", p.transactions);
+            let _ = writeln!(out, "        \"remote_ops\": {},", p.remote_ops);
+            let _ = writeln!(out, "        \"events\": {},", p.events);
+            let _ = writeln!(out, "        \"rounds\": {},", p.rounds);
+            let _ = writeln!(out, "        \"messages\": {},", p.messages);
+            let _ = writeln!(
+                out,
+                "        \"mean_efficiency\": {:.6},",
+                p.mean_efficiency
+            );
+            if let Some(t) = &p.timing {
+                let _ = writeln!(out, "        \"fingerprint\": \"{}\",", p.fingerprint);
+                let _ = writeln!(out, "        \"workers\": {},", t.workers);
+                let _ = writeln!(out, "        \"host_parallelism\": {},", t.host_parallelism);
+                let _ = writeln!(out, "        \"serial_ms\": {:.3},", t.serial_ms);
+                let _ = writeln!(out, "        \"parallel_ms\": {:.3},", t.parallel_ms);
+                let _ = writeln!(out, "        \"speedup\": {:.4},", t.speedup);
+                let _ = writeln!(
+                    out,
+                    "        \"events_per_sec_serial\": {:.0},",
+                    t.events_per_sec_serial
+                );
+                let _ = writeln!(
+                    out,
+                    "        \"events_per_sec_parallel\": {:.0}",
+                    t.events_per_sec_parallel
+                );
+            } else {
+                let _ = writeln!(out, "        \"fingerprint\": \"{}\"", p.fingerprint);
+            }
+            out.push_str(if i + 1 == cube.points.len() {
+                "      }\n"
+            } else {
+                "      },\n"
+            });
+        }
+        out.push_str("    ]\n");
+        out.push_str("  }\n");
+    } else {
+        out.push_str("  ]\n");
+    }
     out.push_str("}\n");
     out
 }
 
 /// Validates that `text` looks like a scaling report this module wrote:
-/// the schema marker, one point per configured `(n, rate)` pair, and no
-/// recorded failures.
+/// the schema marker, one point per configured `(n, rate)` pair, no
+/// recorded failures, and — when `cube` is given — one fingerprinted cube
+/// point per configured side.
 ///
 /// # Errors
 ///
 /// A human-readable description of the first problem found.
-pub fn validate_scaling_report(text: &str, config: &ScalingStudyConfig) -> Result<(), String> {
+pub fn validate_scaling_report(
+    text: &str,
+    config: &ScalingStudyConfig,
+    cube: Option<&CubeStudyConfig>,
+) -> Result<(), String> {
     if !text.contains(&format!("\"schema\": \"{SCALING_SCHEMA}\"")) {
         return Err(format!("missing schema marker {SCALING_SCHEMA}"));
     }
@@ -276,6 +614,20 @@ pub fn validate_scaling_report(text: &str, config: &ScalingStudyConfig) -> Resul
         if !text.contains(&format!("\"n\": {n},")) {
             return Err(format!("missing grid side n={n}"));
         }
+    }
+    if let Some(cube) = cube {
+        let expected = cube.sides.len();
+        let got = text.matches("\"fingerprint\":").count();
+        if got != expected {
+            return Err(format!("expected {expected} cube points, found {got}"));
+        }
+        for side in &cube.sides {
+            if !text.contains(&format!("\"side\": {side},")) {
+                return Err(format!("missing cube side {side}"));
+            }
+        }
+    } else if text.contains("\"cube\":") {
+        return Err("unexpected cube section".to_string());
     }
     Ok(())
 }
@@ -333,14 +685,81 @@ mod tests {
     fn json_roundtrips_and_validates() {
         let cfg = tiny();
         let study = run_scaling_study(&Pool::serial(), &cfg);
-        let json = render_scaling_json(&study);
-        validate_scaling_report(&json, &cfg).unwrap();
+        let json = render_scaling_json(&study, None);
+        validate_scaling_report(&json, &cfg, None).unwrap();
         let wrong = ScalingStudyConfig {
             ns: vec![2, 4, 8],
             ..cfg
         };
-        assert!(validate_scaling_report(&json, &wrong).is_err());
-        assert!(validate_scaling_report("{}", &tiny()).is_err());
+        assert!(validate_scaling_report(&json, &wrong, None).is_err());
+        assert!(validate_scaling_report("{}", &tiny(), None).is_err());
+    }
+
+    fn tiny_cube() -> CubeStudyConfig {
+        CubeStudyConfig {
+            sides: vec![2, 3],
+            txns_per_node: 2,
+            remote_ops: 8,
+            remote_gap_ns: 150.0,
+            seed: 7,
+            workers: 2,
+            measure: false,
+        }
+    }
+
+    #[test]
+    fn cube_study_records_deterministic_points() {
+        let cube = run_cube_study(&tiny_cube());
+        assert_eq!(cube.points.len(), 2);
+        for (p, side) in cube.points.iter().zip([2u64, 3]) {
+            assert_eq!(p.side as u64, side);
+            assert_eq!(p.processors, side.pow(3));
+            assert_eq!(p.transactions, side.pow(3) * 2);
+            assert_eq!(p.remote_ops, side * 8);
+            assert!(p.events > 0 && p.rounds > 0);
+            assert!(p.mean_efficiency > 0.0 && p.mean_efficiency <= 1.0);
+            assert!(p.timing.is_none(), "quick studies must not record timing");
+        }
+        // Deterministic end to end: a replay reproduces every field.
+        assert_eq!(run_cube_study(&tiny_cube()).points, cube.points);
+    }
+
+    #[test]
+    fn cube_json_is_worker_invariant_and_validates() {
+        let cfg = tiny();
+        let study = run_scaling_study(&Pool::serial(), &cfg);
+        let cube_cfg = tiny_cube();
+        let cube = run_cube_study(&cube_cfg);
+        let json = render_scaling_json(&study, Some(&cube));
+        validate_scaling_report(&json, &cfg, Some(&cube_cfg)).unwrap();
+        // The cube section must not leak wall-clock bytes in quick mode...
+        assert!(!json.contains("\"serial_ms\""));
+        assert!(!json.contains("\"workers\""));
+        // ...and must render byte-identically at a different worker count.
+        let mut other = tiny_cube();
+        other.workers = 4;
+        let json4 = render_scaling_json(&study, Some(&run_cube_study(&other)));
+        assert_eq!(json, json4);
+        // A cube-less report no longer validates against a cube config.
+        let plain = render_scaling_json(&study, None);
+        assert!(validate_scaling_report(&plain, &cfg, Some(&cube_cfg)).is_err());
+        assert!(validate_scaling_report(&json, &cfg, None).is_err());
+    }
+
+    #[test]
+    fn measured_cube_study_embeds_timing_and_speedup() {
+        let mut cfg = tiny_cube();
+        cfg.sides = vec![2];
+        cfg.measure = true;
+        let cube = run_cube_study(&cfg);
+        let t = cube.points[0].timing.as_ref().expect("timing recorded");
+        assert_eq!(t.workers, 2);
+        assert!(t.serial_ms > 0.0 && t.parallel_ms > 0.0);
+        assert!(t.speedup > 0.0);
+        assert!(t.events_per_sec_serial > 0.0);
+        let json = render_scaling_json(&run_scaling_study(&Pool::serial(), &tiny()), Some(&cube));
+        assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"host_parallelism\""));
     }
 
     #[test]

@@ -8,11 +8,12 @@
 //! CSV artifacts at each worker count and compare md5 fingerprints — the
 //! same check CI performs across processes with `MULTICUBE_POOL_WORKERS`.
 
+use multicube::EngineKind;
 use multicube_bench::{
     fault_sweep_rows, render_fault_sweep, render_scaling_json, render_series,
-    render_series_utilization, run_scaling_study, series_view, sim_figure2, sim_figure3,
-    sim_figure4, sim_latency_modes, validate_scaling_report, write_fault_sweep_csv,
-    write_series_csv, Pool, ScalingStudyConfig, SweepConfig,
+    render_series_utilization, run_cube_study, run_scaling_study, series_view, sim_figure2,
+    sim_figure3, sim_figure4, sim_latency_modes, validate_scaling_report, write_fault_sweep_csv,
+    write_series_csv, CubeStudyConfig, Pool, ScalingStudyConfig, SweepConfig,
 };
 use multicube_sim::md5_hex;
 
@@ -118,12 +119,66 @@ fn scaling_study_json_is_byte_identical_across_worker_counts() {
         .map(|pool| {
             let study = run_scaling_study(pool, &cfg);
             assert!(study.failures.is_empty());
-            render_scaling_json(&study)
+            let cube_cfg = CubeStudyConfig::quick(pool.workers());
+            let cube = run_cube_study(&cube_cfg);
+            render_scaling_json(&study, Some(&cube))
         })
         .collect();
-    validate_scaling_report(&jsons[0], &cfg).unwrap();
+    validate_scaling_report(
+        &jsons[0],
+        &cfg,
+        Some(&CubeStudyConfig::quick(Pool::from_env().workers())),
+    )
+    .unwrap();
     assert_eq!(md5_hex(jsons[0].as_bytes()), md5_hex(jsons[1].as_bytes()));
     assert_eq!(md5_hex(jsons[0].as_bytes()), md5_hex(jsons[2].as_bytes()));
+}
+
+/// The parallel-DES differential, artifact level: every engine's cube run
+/// must produce byte-identical per-plane machine traces at 1 worker
+/// (serial reference), 2 workers, and the environment-default worker
+/// count — the same comparison the CI `pool-determinism` job performs
+/// across processes.
+#[test]
+fn cube_traces_are_byte_identical_across_worker_counts_and_engines() {
+    for engine in EngineKind::all() {
+        let cube_cfg = |workers: usize| {
+            let mut cfg = multicube::pdes::CubeConfig::new(3);
+            cfg.engine = engine;
+            cfg.txns_per_node = 4;
+            cfg.remote_ops = 16;
+            cfg.remote_gap_ns = 200.0;
+            cfg.seed = 0xBE7C;
+            cfg.workers = workers;
+            cfg.capture_trace = true;
+            cfg
+        };
+        let reference = multicube::pdes::run_cube(&cube_cfg(1));
+        let ref_traces: Vec<Option<String>> = reference
+            .planes
+            .iter()
+            .map(|p| p.trace_md5.clone())
+            .collect();
+        assert!(ref_traces.iter().all(Option::is_some));
+        for pool in pools() {
+            let workers = pool.workers().max(2);
+            let parallel = multicube::pdes::run_cube(&cube_cfg(workers));
+            let traces: Vec<Option<String>> = parallel
+                .planes
+                .iter()
+                .map(|p| p.trace_md5.clone())
+                .collect();
+            assert_eq!(
+                traces, ref_traces,
+                "{engine:?} plane traces diverged at {workers} workers"
+            );
+            assert_eq!(
+                parallel.fingerprint(),
+                reference.fingerprint(),
+                "{engine:?} fingerprint diverged at {workers} workers"
+            );
+        }
+    }
 }
 
 /// The seed-correlation fix, observed end to end: at the seed level every

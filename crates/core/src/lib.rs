@@ -55,6 +55,7 @@ pub mod inspect;
 pub mod machine;
 pub mod metrics;
 pub mod node;
+pub mod pdes;
 pub mod proto;
 pub mod trace;
 
@@ -66,5 +67,6 @@ pub use machine::engine::ProtocolEngine;
 pub use machine::{Completion, Machine, SubmitError};
 pub use metrics::{BusReport, MachineMetrics, RunReport, TxnStats};
 pub use node::LineMode;
+pub use pdes::{run_cube, CubeConfig, CubeReport, DepthStats, PlaneReport, RemoteKind};
 pub use proto::{BusOp, OpClass, OpFault, OpKind, TxnId};
 pub use trace::{TraceEvent, TraceFormat, TracePoint, TraceSink};

@@ -536,6 +536,27 @@ impl Machine {
         self.batch_pos < self.batch.len() || !self.events.is_empty()
     }
 
+    /// The instant of the earliest pending event — the current batch (all
+    /// due *now*) first, then the wheel. `None` at quiescence.
+    #[inline]
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        if self.batch_pos < self.batch.len() {
+            return Some(self.now());
+        }
+        self.events.peek_time()
+    }
+
+    /// Processes every pending event strictly before `horizon`, in exactly
+    /// the order a free-running drain would deliver them, then stops. The
+    /// conservative parallel driver uses this to advance one plane of the
+    /// cube up to its safe horizon.
+    pub fn advance_until(&mut self, horizon: SimTime) {
+        while self.next_event_time().is_some_and(|t| t < horizon) {
+            let ev = self.next_event().expect("event due before horizon");
+            self.handle(ev);
+        }
+    }
+
     /// Processes events until a transaction completes, returning it;
     /// `None` when the machine goes quiescent first.
     pub fn advance(&mut self) -> Option<Completion> {

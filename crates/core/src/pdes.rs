@@ -1,0 +1,661 @@
+//! The three-dimensional Multicube as a conservatively parallel
+//! simulation, sharded by plane.
+//!
+//! Section 6 of the paper generalizes the Wisconsin Multicube to `n^k`
+//! processors; the `k = 3` instance is a cube of `n` *planes*, each an
+//! `n x n` grid identical to the 2-D machine, with a third set of "depth"
+//! buses connecting each processor to its images in every other plane.
+//! This module simulates that machine at scale by giving every plane its
+//! own full [`Machine`] — the complete Appendix A protocol, its own event
+//! wheel, its own deterministic RNG stream — and running the planes as
+//! shards of a conservative parallel DES ([`multicube_sim::pdes`]).
+//!
+//! Cross-plane traffic models the §4 uncached-remote access pattern: each
+//! plane issues an open-loop stream of remote operations (uncached READs
+//! of a home plane's committed line version, and TEST-AND-SET / CLEAR on
+//! a memory-side synchronization word) over the depth buses. A depth-bus
+//! hop takes [`HOP_NS`]; the home plane services requests through a FIFO
+//! depth port at [`SERVICE_NS`] each and sends the reply back over the
+//! bus. The hop latency is the *lookahead* that makes conservative
+//! synchronization work: no plane can affect another in less than
+//! `HOP_NS`, so a plane may safely run that far past its neighbours'
+//! bounds.
+//!
+//! Determinism: every plane's machine seed and depth-traffic RNG stream
+//! derive from the cube seed by [`split_seed`], the scheduler delivers
+//! cross-plane messages in `(time, source plane, sequence)` order, and
+//! the plane-vs-depth tie-break inside a shard is fixed (depth events
+//! first at equal instants). A cube run is therefore byte-identical — per
+//! -plane machine traces included — at *any* worker count, which
+//! `crates/core/tests/pdes_determinism.rs` pins.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use multicube_mem::LineAddr;
+use multicube_sim::pdes::{self, Arrival, Outbox, PdesConfig, PdesStats, ShardModel};
+use multicube_sim::{split_seed, stream_id, DeterministicRng, FxHashMap, SimDuration, SimTime};
+
+use crate::config::{EngineKind, MachineConfig};
+use crate::driver::SyntheticSpec;
+use crate::machine::Machine;
+use crate::metrics::RunReport;
+use crate::trace::{TraceFormat, TraceSink};
+
+/// One depth-bus hop: the minimum cross-plane latency, and therefore the
+/// conservative lookahead.
+pub const HOP_NS: u64 = 10;
+
+/// Fixed service time of the depth port at the home plane (one uncached
+/// memory-side access, no cache fill).
+pub const SERVICE_NS: u64 = 120;
+
+/// A remote (cross-plane) operation kind — the §4 uncached accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemoteKind {
+    /// Uncached read of the home plane's committed line version.
+    Read,
+    /// Test-and-set on a memory-side synchronization word.
+    TestAndSet,
+    /// Clear (release) of a synchronization word.
+    Clear,
+}
+
+impl RemoteKind {
+    fn code(self) -> u64 {
+        match self {
+            RemoteKind::Read => 0,
+            RemoteKind::TestAndSet => 1,
+            RemoteKind::Clear => 2,
+        }
+    }
+}
+
+/// A message on a depth bus.
+#[derive(Debug, Clone, Copy)]
+pub enum DepthMsg {
+    /// A remote operation heading to its home plane.
+    Request {
+        origin: usize,
+        op_seq: u64,
+        line: u64,
+        kind: RemoteKind,
+    },
+    /// The home plane's answer: the value read (line version or previous
+    /// sync-word contents) and whether a TEST-AND-SET won.
+    Reply {
+        op_seq: u64,
+        value: u64,
+        success: bool,
+    },
+}
+
+/// Internal depth-port events of one plane, ordered by `(time, class,
+/// seq)` — class keeps the intra-instant order fixed and documented:
+/// arrivals service before issues at the same instant.
+#[derive(Debug, Clone, Copy)]
+enum DepthEv {
+    /// The open-loop generator fires: issue one remote op.
+    Issue,
+    /// A request arrived over the depth bus (queue it at the port).
+    RequestArrival {
+        origin: usize,
+        op_seq: u64,
+        line: u64,
+        kind: RemoteKind,
+    },
+    /// The port finishes servicing a request (perform it, send reply).
+    ServiceDone {
+        origin: usize,
+        op_seq: u64,
+        line: u64,
+        kind: RemoteKind,
+    },
+    /// A reply arrived back at the requester.
+    ReplyArrival {
+        op_seq: u64,
+        value: u64,
+        success: bool,
+    },
+}
+
+/// Aggregate depth-bus statistics of one plane (all integers, so the
+/// quick-mode artifacts that CI diffs stay exactly reproducible).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DepthStats {
+    /// Remote ops this plane issued.
+    pub issued: u64,
+    /// Requests this plane serviced for others.
+    pub serviced: u64,
+    /// Replies this plane received.
+    pub replies: u64,
+    /// TEST-AND-SET attempts by this plane that won the word.
+    pub tas_won: u64,
+    /// Total round-trip latency over all replies (ns).
+    pub latency_total_ns: u64,
+    /// Worst round-trip latency (ns).
+    pub latency_max_ns: u64,
+}
+
+/// A shared append-only byte sink for per-plane machine traces.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// One plane of the cube: a full 2-D machine plus the depth-bus port and
+/// the open-loop remote-traffic generator.
+struct PlaneShard {
+    plane: usize,
+    planes: usize,
+    machine: Machine,
+    rng: DeterministicRng,
+    pending: std::collections::BTreeMap<(SimTime, u8, u64), DepthEv>,
+    tiebreak: u64,
+    /// Remote ops the generator has yet to issue (`Issue` is pending iff
+    /// this is nonzero).
+    issues_left: u64,
+    remote_gap_ns: f64,
+    remote_lines: u64,
+    /// When the FIFO depth port next frees up.
+    port_free_at: SimTime,
+    /// Memory-side synchronization words (plane-local; remote TAS/CLEAR
+    /// target the *home* plane's map).
+    sync: FxHashMap<u64, u64>,
+    /// In-flight remote ops this plane issued: op_seq -> issue time.
+    outstanding: FxHashMap<u64, SimTime>,
+    stats: DepthStats,
+    /// Order-sensitive digest of every depth event this plane observed.
+    digest: u64,
+    trace: Option<SharedBuf>,
+}
+
+impl PlaneShard {
+    fn schedule(&mut self, at: SimTime, class: u8, ev: DepthEv) {
+        self.tiebreak += 1;
+        self.pending.insert((at, class, self.tiebreak), ev);
+    }
+
+    fn fold(&mut self, at: SimTime, vals: [u64; 3]) {
+        for v in [at.as_nanos(), vals[0], vals[1], vals[2]] {
+            self.digest = self
+                .digest
+                .rotate_left(13)
+                .wrapping_mul(0x100000001B3)
+                .wrapping_add(v);
+        }
+    }
+
+    /// Handles one depth event at instant `at`, emitting bus messages
+    /// through `out`.
+    fn handle_depth(&mut self, at: SimTime, ev: DepthEv, out: &mut Outbox<DepthMsg>) {
+        match ev {
+            DepthEv::Issue => {
+                let home = self
+                    .rng
+                    .below_excluding(self.planes as u64, self.plane as u64)
+                    as usize;
+                let line = self.rng.below(self.remote_lines);
+                let kind = match self.rng.below(10) {
+                    0..=5 => RemoteKind::Read,
+                    6..=8 => RemoteKind::TestAndSet,
+                    _ => RemoteKind::Clear,
+                };
+                let op_seq = self.stats.issued;
+                self.stats.issued += 1;
+                self.outstanding.insert(op_seq, at);
+                self.fold(at, [0, op_seq, (home as u64) << 32 | line]);
+                out.send(
+                    home,
+                    at + SimDuration::from_nanos(HOP_NS),
+                    DepthMsg::Request {
+                        origin: self.plane,
+                        op_seq,
+                        line,
+                        kind,
+                    },
+                );
+                self.issues_left -= 1;
+                if self.issues_left > 0 {
+                    let gap = 1 + self.rng.exponential(self.remote_gap_ns).max(0.0) as u64;
+                    self.schedule(at + SimDuration::from_nanos(gap), 1, DepthEv::Issue);
+                }
+            }
+            DepthEv::RequestArrival {
+                origin,
+                op_seq,
+                line,
+                kind,
+            } => {
+                let start = self.port_free_at.max(at);
+                let done = start + SimDuration::from_nanos(SERVICE_NS);
+                self.port_free_at = done;
+                self.fold(at, [1, (origin as u64) << 32 | op_seq, line]);
+                self.schedule(
+                    done,
+                    0,
+                    DepthEv::ServiceDone {
+                        origin,
+                        op_seq,
+                        line,
+                        kind,
+                    },
+                );
+            }
+            DepthEv::ServiceDone {
+                origin,
+                op_seq,
+                line,
+                kind,
+            } => {
+                let (value, success) = match kind {
+                    RemoteKind::Read => (
+                        self.machine.committed_version(LineAddr::new(line)).stamp(),
+                        true,
+                    ),
+                    RemoteKind::TestAndSet => {
+                        let word = self.sync.entry(line).or_insert(0);
+                        let old = *word;
+                        if old == 0 {
+                            *word = 1;
+                        }
+                        (old, old == 0)
+                    }
+                    RemoteKind::Clear => {
+                        let word = self.sync.entry(line).or_insert(0);
+                        let old = *word;
+                        *word = 0;
+                        (old, true)
+                    }
+                };
+                self.stats.serviced += 1;
+                self.fold(at, [2, kind.code() << 32 | op_seq, value]);
+                out.send(
+                    origin,
+                    at + SimDuration::from_nanos(HOP_NS),
+                    DepthMsg::Reply {
+                        op_seq,
+                        value,
+                        success,
+                    },
+                );
+            }
+            DepthEv::ReplyArrival {
+                op_seq,
+                value,
+                success,
+            } => {
+                let issued = self
+                    .outstanding
+                    .remove(&op_seq)
+                    .expect("reply to an op never issued");
+                let latency = (at - issued).as_nanos();
+                self.stats.replies += 1;
+                self.stats.tas_won += success as u64;
+                self.stats.latency_total_ns += latency;
+                self.stats.latency_max_ns = self.stats.latency_max_ns.max(latency);
+                self.fold(at, [3, op_seq, value]);
+            }
+        }
+    }
+}
+
+impl ShardModel for PlaneShard {
+    type Msg = DepthMsg;
+
+    fn next_time(&self) -> Option<SimTime> {
+        let depth = self.pending.keys().next().map(|&(t, _, _)| t);
+        let mach = self.machine.next_event_time();
+        match (depth, mach) {
+            (Some(d), Some(m)) => Some(d.min(m)),
+            (d, m) => d.or(m),
+        }
+    }
+
+    fn earliest_send(&self) -> Option<SimTime> {
+        let mut bound: Option<SimTime> = None;
+        let mut fold = |t: SimTime| {
+            if bound.is_none_or(|b| t < b) {
+                bound = Some(t);
+            }
+        };
+        for (&(t, _, _), ev) in &self.pending {
+            match ev {
+                // An issue or a finished service puts a message on the bus
+                // one hop later.
+                DepthEv::Issue | DepthEv::ServiceDone { .. } => {
+                    fold(t + SimDuration::from_nanos(HOP_NS))
+                }
+                // A queued request must be serviced first; the port may be
+                // busy, but never replies earlier than this.
+                DepthEv::RequestArrival { .. } => {
+                    fold(t + SimDuration::from_nanos(SERVICE_NS + HOP_NS))
+                }
+                // Replies terminate at this plane.
+                DepthEv::ReplyArrival { .. } => {}
+            }
+        }
+        // Machine events are plane-internal: they never send over a depth
+        // bus and so never constrain the neighbours.
+        bound
+    }
+
+    fn min_turnaround(&self) -> SimDuration {
+        SimDuration::from_nanos(SERVICE_NS + HOP_NS)
+    }
+
+    fn advance(
+        &mut self,
+        horizon: SimTime,
+        inbox: Vec<Arrival<DepthMsg>>,
+        out: &mut Outbox<DepthMsg>,
+    ) {
+        for a in inbox {
+            match a.msg {
+                DepthMsg::Request {
+                    origin,
+                    op_seq,
+                    line,
+                    kind,
+                } => self.schedule(
+                    a.at,
+                    0,
+                    DepthEv::RequestArrival {
+                        origin,
+                        op_seq,
+                        line,
+                        kind,
+                    },
+                ),
+                DepthMsg::Reply {
+                    op_seq,
+                    value,
+                    success,
+                } => self.schedule(
+                    a.at,
+                    0,
+                    DepthEv::ReplyArrival {
+                        op_seq,
+                        value,
+                        success,
+                    },
+                ),
+            }
+        }
+        loop {
+            let depth_next = self.pending.keys().next().copied();
+            // Drain machine events strictly below the next depth event
+            // (or the horizon), then the depth event itself — so at equal
+            // instants depth events run first: a fixed, documented order.
+            let bound = match depth_next {
+                Some((t, _, _)) => horizon.min(t),
+                None => horizon,
+            };
+            self.machine.advance_until(bound);
+            match depth_next {
+                Some(key @ (t, _, _)) if t < horizon => {
+                    let ev = self.pending.remove(&key).unwrap();
+                    self.handle_depth(t, ev, out);
+                }
+                _ => break,
+            }
+        }
+    }
+}
+
+/// Configuration of a parallel cube run.
+#[derive(Debug, Clone)]
+pub struct CubeConfig {
+    /// Cube side `n`: `n` planes of `n x n` processors (`n^3` total).
+    pub side: u32,
+    /// Coherence engine every plane runs.
+    pub engine: EngineKind,
+    /// The closed-loop synthetic workload each plane drives.
+    pub spec: SyntheticSpec,
+    /// Blocking transactions per processor.
+    pub txns_per_node: u64,
+    /// Open-loop remote (cross-plane) ops each plane issues.
+    pub remote_ops: u64,
+    /// Mean gap between a plane's remote issues (ns).
+    pub remote_gap_ns: f64,
+    /// Remote ops target lines `0..remote_lines`.
+    pub remote_lines: u64,
+    /// Master seed; every plane's machine and traffic stream derive from
+    /// it by [`split_seed`].
+    pub seed: u64,
+    /// Worker threads (1 = serial reference execution).
+    pub workers: usize,
+    /// Run the coherence checker at the end of every plane's workload.
+    pub check: bool,
+    /// Capture per-plane machine traces (JSONL) and fingerprint them.
+    pub capture_trace: bool,
+}
+
+impl CubeConfig {
+    /// A small default: side `n`, paper timing, Multicube engine,
+    /// checking on, tracing off.
+    pub fn new(side: u32) -> Self {
+        CubeConfig {
+            side,
+            engine: EngineKind::Multicube,
+            spec: SyntheticSpec::default(),
+            txns_per_node: 10,
+            remote_ops: 64,
+            remote_gap_ns: 400.0,
+            remote_lines: 64,
+            seed: 0x5EED,
+            workers: 1,
+            check: true,
+            capture_trace: false,
+        }
+    }
+}
+
+/// One plane's slice of the cube report.
+#[derive(Debug, Clone)]
+pub struct PlaneReport {
+    /// The plane's closed-loop workload report.
+    pub run: RunReport,
+    /// The plane's depth-bus traffic statistics.
+    pub depth: DepthStats,
+    /// Order-sensitive digest of the plane's depth events.
+    pub depth_digest: u64,
+    /// md5 of the plane's machine trace (when capture was on).
+    pub trace_md5: Option<String>,
+}
+
+/// The result of a cube run.
+#[derive(Debug, Clone)]
+pub struct CubeReport {
+    /// Cube side `n`.
+    pub side: u32,
+    /// Total processors (`n^3`).
+    pub processors: u64,
+    /// Per-plane results, in plane order.
+    pub planes: Vec<PlaneReport>,
+    /// Scheduler statistics.
+    pub pdes: PdesStats,
+    /// Machine events delivered across all planes (the throughput-kernel
+    /// work unit).
+    pub events_delivered: u64,
+}
+
+impl CubeReport {
+    /// A canonical fingerprint of everything deterministic about the run:
+    /// per-plane transaction counts, depth statistics and digests, and
+    /// (when captured) the machine trace hashes. Byte-identical across
+    /// worker counts by construction.
+    pub fn fingerprint(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("side={} procs={}\n", self.side, self.processors));
+        for (i, p) in self.planes.iter().enumerate() {
+            s.push_str(&format!(
+                "plane={} txns={} events={} depth={:?} digest={:#018x} trace={}\n",
+                i,
+                p.run.transactions_completed,
+                p.run.events_delivered,
+                p.depth,
+                p.depth_digest,
+                p.trace_md5.as_deref().unwrap_or("-"),
+            ));
+        }
+        multicube_sim::md5_hex(s.as_bytes())
+    }
+}
+
+/// Builds the planes and runs the cube to quiescence.
+///
+/// # Panics
+///
+/// Panics on an invalid side (< 2), on a coherence violation when
+/// checking is on, and propagates any plane panic.
+pub fn run_cube(cfg: &CubeConfig) -> CubeReport {
+    assert!(cfg.side >= 2, "a cube needs side >= 2");
+    let planes = cfg.side as usize;
+    let mut shards: Vec<PlaneShard> = (0..planes)
+        .map(|plane| {
+            let mconfig = MachineConfig::grid(cfg.side)
+                .expect("valid grid side")
+                .with_engine(cfg.engine)
+                .with_checking(cfg.check);
+            let mseed = split_seed(cfg.seed, stream_id("pdes", "plane"), plane as u64);
+            let mut machine = Machine::new(mconfig, mseed).expect("valid machine config");
+            let trace = cfg.capture_trace.then(SharedBuf::default);
+            if let Some(buf) = &trace {
+                machine
+                    .set_trace_sink(TraceSink::writer(Box::new(buf.clone()), TraceFormat::Jsonl));
+            }
+            machine.begin_synthetic(&cfg.spec, cfg.txns_per_node);
+            let mut shard = PlaneShard {
+                plane,
+                planes,
+                machine,
+                rng: DeterministicRng::seed(split_seed(
+                    cfg.seed,
+                    stream_id("pdes", "depth"),
+                    plane as u64,
+                )),
+                pending: std::collections::BTreeMap::new(),
+                tiebreak: 0,
+                issues_left: cfg.remote_ops,
+                remote_gap_ns: cfg.remote_gap_ns,
+                remote_lines: cfg.remote_lines,
+                port_free_at: SimTime::ZERO,
+                sync: FxHashMap::default(),
+                outstanding: FxHashMap::default(),
+                stats: DepthStats::default(),
+                digest: 0,
+                trace,
+            };
+            if shard.issues_left > 0 && planes > 1 {
+                let first = 1 + shard.rng.exponential(cfg.remote_gap_ns).max(0.0) as u64;
+                shard.schedule(SimTime::from_nanos(first), 1, DepthEv::Issue);
+            } else {
+                shard.issues_left = 0;
+            }
+            shard
+        })
+        .collect();
+
+    let pdes_cfg = if cfg.workers <= 1 {
+        PdesConfig::serial(SimDuration::from_nanos(HOP_NS))
+    } else {
+        PdesConfig::parallel(cfg.workers, SimDuration::from_nanos(HOP_NS))
+    };
+    let stats = pdes::run(&pdes_cfg, &mut shards);
+
+    let mut events_delivered = 0u64;
+    let planes: Vec<PlaneReport> = shards
+        .into_iter()
+        .map(|mut shard| {
+            assert!(
+                shard.outstanding.is_empty(),
+                "plane {} finished with unanswered remote ops",
+                shard.plane
+            );
+            let run = shard.machine.finish_synthetic();
+            events_delivered += run.events_delivered;
+            let trace_md5 = shard
+                .trace
+                .as_ref()
+                .map(|buf| multicube_sim::md5_hex(&buf.0.lock().unwrap()));
+            PlaneReport {
+                run,
+                depth: shard.stats,
+                depth_digest: shard.digest,
+                trace_md5,
+            }
+        })
+        .collect();
+
+    CubeReport {
+        side: cfg.side,
+        processors: (cfg.side as u64).pow(3),
+        planes,
+        pdes: stats,
+        events_delivered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg(workers: usize) -> CubeConfig {
+        let mut cfg = CubeConfig::new(3);
+        cfg.txns_per_node = 6;
+        cfg.remote_ops = 24;
+        cfg.remote_gap_ns = 150.0;
+        cfg.workers = workers;
+        cfg.capture_trace = true;
+        cfg
+    }
+
+    #[test]
+    fn cube_runs_and_traffic_balances() {
+        let report = run_cube(&small_cfg(1));
+        assert_eq!(report.side, 3);
+        assert_eq!(report.processors, 27);
+        assert_eq!(report.planes.len(), 3);
+        let issued: u64 = report.planes.iter().map(|p| p.depth.issued).sum();
+        let serviced: u64 = report.planes.iter().map(|p| p.depth.serviced).sum();
+        let replies: u64 = report.planes.iter().map(|p| p.depth.replies).sum();
+        assert_eq!(issued, 3 * 24);
+        assert_eq!(serviced, issued);
+        assert_eq!(replies, issued);
+        for p in &report.planes {
+            assert_eq!(p.run.transactions_completed, 6 * 9);
+            assert!(p.depth.latency_max_ns >= 2 * HOP_NS + SERVICE_NS);
+            assert!(p.trace_md5.is_some());
+        }
+        assert!(report.pdes.messages >= 2 * issued);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_fingerprint() {
+        let reference = run_cube(&small_cfg(1)).fingerprint();
+        for workers in [2usize, 3, 8] {
+            let fp = run_cube(&small_cfg(workers)).fingerprint();
+            assert_eq!(fp, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn engines_all_support_the_cube() {
+        for engine in EngineKind::all() {
+            let mut cfg = small_cfg(2);
+            cfg.engine = engine;
+            cfg.capture_trace = false;
+            let report = run_cube(&cfg);
+            assert_eq!(report.planes.len(), 3, "{engine:?}");
+        }
+    }
+}

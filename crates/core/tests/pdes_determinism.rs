@@ -1,0 +1,86 @@
+//! Differential determinism suite for the parallel cube: the serial
+//! (1-worker) execution is the reference, and every parallel worker
+//! count must reproduce it byte for byte — per-plane machine traces,
+//! depth-event digests, and the aggregate fingerprint — across all three
+//! coherence engines.
+
+use multicube::pdes::{run_cube, CubeConfig, CubeReport};
+use multicube::EngineKind;
+
+fn cfg(engine: EngineKind, workers: usize, capture: bool) -> CubeConfig {
+    let mut cfg = CubeConfig::new(4);
+    cfg.engine = engine;
+    cfg.txns_per_node = 5;
+    cfg.remote_ops = 40;
+    cfg.remote_gap_ns = 250.0;
+    cfg.remote_lines = 48;
+    cfg.seed = 0xC0FFEE;
+    cfg.workers = workers;
+    cfg.capture_trace = capture;
+    cfg
+}
+
+fn worker_counts() -> Vec<usize> {
+    // 1 (serial reference), 2, and the environment default the CI
+    // pool-determinism job varies.
+    vec![1, 2, multicube_sim::Pool::from_env().workers().max(2)]
+}
+
+fn summary(report: &CubeReport) -> Vec<(u64, u64, Option<String>)> {
+    report
+        .planes
+        .iter()
+        .map(|p| {
+            (
+                p.run.transactions_completed,
+                p.depth_digest,
+                p.trace_md5.clone(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_traces_match_serial_for_every_engine() {
+    for engine in EngineKind::all() {
+        let reference = run_cube(&cfg(engine, 1, true));
+        let ref_fp = reference.fingerprint();
+        let ref_summary = summary(&reference);
+        assert!(
+            reference.planes.iter().all(|p| p.trace_md5.is_some()),
+            "{engine:?}: trace capture must produce a hash"
+        );
+        for workers in worker_counts() {
+            let parallel = run_cube(&cfg(engine, workers, true));
+            assert_eq!(
+                summary(&parallel),
+                ref_summary,
+                "{engine:?} diverged at {workers} workers"
+            );
+            assert_eq!(
+                parallel.fingerprint(),
+                ref_fp,
+                "{engine:?} fingerprint diverged at {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn distinct_seeds_give_distinct_runs() {
+    let a = run_cube(&cfg(EngineKind::Multicube, 1, false));
+    let mut other = cfg(EngineKind::Multicube, 1, false);
+    other.seed ^= 1;
+    let b = run_cube(&other);
+    assert_ne!(a.fingerprint(), b.fingerprint());
+}
+
+#[test]
+fn scheduler_round_structure_is_worker_invariant() {
+    let serial = run_cube(&cfg(EngineKind::Multicube, 1, false));
+    for workers in worker_counts() {
+        let parallel = run_cube(&cfg(EngineKind::Multicube, workers, false));
+        assert_eq!(parallel.pdes, serial.pdes, "workers={workers}");
+        assert_eq!(parallel.events_delivered, serial.events_delivered);
+    }
+}

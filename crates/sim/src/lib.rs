@@ -34,6 +34,7 @@
 
 pub mod digest;
 pub mod hash;
+pub mod pdes;
 pub mod pool;
 pub mod queue;
 pub mod rng;
@@ -43,6 +44,7 @@ pub mod wheel;
 
 pub use digest::md5_hex;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use pdes::{Arrival, Outbox, PdesConfig, PdesStats, ShardModel};
 pub use pool::{JobId, JobPanic, Pool};
 pub use queue::{EventQueue, HeapQueue, QueueImpl};
 pub use rng::{split_seed, stream_id, DeterministicRng};

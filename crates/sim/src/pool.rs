@@ -62,7 +62,7 @@ impl std::fmt::Display for JobId {
 
 /// A contained panic from one job: the job's identity plus the panic
 /// payload rendered as text (`&str` and `String` payloads verbatim,
-/// anything else as a placeholder).
+/// anything else identified by its type).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobPanic {
     /// Which job panicked.
@@ -79,14 +79,50 @@ impl std::fmt::Display for JobPanic {
 
 impl std::error::Error for JobPanic {}
 
-/// Renders a panic payload as text.
+/// Renders a panic payload as text. `&str` and `String` payloads are
+/// preserved verbatim; anything else is identified by type (and value,
+/// where the type is a common `panic_any` primitive), so a `PointFailure`
+/// replay report says *what* was thrown rather than a bare placeholder.
 fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&'static str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
+    let payload = match payload.downcast::<String>() {
+        Ok(s) => return *s,
+        Err(p) => p,
+    };
+    let payload = match payload.downcast::<&'static str>() {
+        Ok(s) => return (*s).to_string(),
+        Err(p) => p,
+    };
+    // `dyn Any` has erased the concrete type's name; recover a
+    // `type_name`-style identification for the primitives `panic_any`
+    // commonly throws, and fall back to the `TypeId` so distinct unknown
+    // types at least stay distinguishable in reports.
+    macro_rules! identify {
+        ($($t:ty),* $(,)?) => {
+            $(if let Some(v) = payload.downcast_ref::<$t>() {
+                return format!(
+                    "non-string panic payload of type {}: {:?}",
+                    std::any::type_name::<$t>(),
+                    v
+                );
+            })*
+        };
+    }
+    identify!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize, f32, f64, bool, char);
+    format!(
+        "non-string panic payload of type id {:?}",
+        (*payload).type_id()
+    )
+}
+
+/// Parses a [`WORKERS_ENV`] override: `Ok(None)` when unset, the worker
+/// count when set to a positive integer, and the offending text otherwise.
+fn parse_workers(raw: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = raw else {
+        return Ok(None);
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(w) if w > 0 => Ok(Some(w)),
+        _ => Err(raw.to_string()),
     }
 }
 
@@ -112,19 +148,31 @@ impl Pool {
         Pool::new(1)
     }
 
-    /// The default pool: [`WORKERS_ENV`] if set and parseable, otherwise
-    /// the machine's available parallelism.
+    /// The default pool: [`WORKERS_ENV`] if set, otherwise the machine's
+    /// available parallelism.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`WORKERS_ENV`] is set but is not a positive integer.
+    /// A typo like `O4` (or an explicit `0`) used to fall back *silently*
+    /// to the hardware default — quietly voiding the CI determinism
+    /// diff's pinned 1-worker leg — so a misconfigured override is loud.
     pub fn from_env() -> Self {
-        let configured = std::env::var(WORKERS_ENV)
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&w| w > 0);
-        let workers = configured.unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        });
-        Pool::new(workers)
+        Pool::from_override(std::env::var(WORKERS_ENV).ok().as_deref())
+    }
+
+    /// [`Pool::from_env`] with the override value passed explicitly
+    /// (testable without touching process-global environment state).
+    fn from_override(raw: Option<&str>) -> Self {
+        match parse_workers(raw) {
+            Ok(Some(w)) => Pool::new(w),
+            Ok(None) => Pool::new(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+            ),
+            Err(bad) => panic!("{WORKERS_ENV} must be a positive integer, got {bad:?}"),
+        }
     }
 
     /// The concurrency bound.
@@ -265,6 +313,48 @@ mod tests {
         ]);
         assert_eq!(results[0].as_ref().unwrap_err().message, "static str");
         assert_eq!(results[1].as_ref().unwrap_err().message, "formatted 7");
+    }
+
+    #[test]
+    fn non_string_payloads_are_identified_by_type() {
+        let pool = Pool::serial();
+        let results = pool.run(vec![
+            |_id: JobId| -> u32 { std::panic::panic_any(42u32) },
+            |_id: JobId| -> u32 { std::panic::panic_any(true) },
+        ]);
+        let msg = &results[0].as_ref().unwrap_err().message;
+        assert!(msg.contains("u32") && msg.contains("42"), "{msg}");
+        let msg = &results[1].as_ref().unwrap_err().message;
+        assert!(msg.contains("bool") && msg.contains("true"), "{msg}");
+
+        // Unknown payload types still identify themselves by TypeId.
+        #[derive(Debug)]
+        struct Opaque;
+        let results = pool.run(vec![|_id: JobId| -> u32 { std::panic::panic_any(Opaque) }]);
+        let msg = &results[0].as_ref().unwrap_err().message;
+        assert!(msg.contains("type id TypeId"), "{msg}");
+    }
+
+    #[test]
+    fn worker_env_overrides_parse_strictly() {
+        assert_eq!(parse_workers(None), Ok(None));
+        assert_eq!(parse_workers(Some("4")), Ok(Some(4)));
+        assert_eq!(parse_workers(Some(" 8 ")), Ok(Some(8)));
+        assert_eq!(parse_workers(Some("O4")), Err("O4".to_string()));
+        assert_eq!(parse_workers(Some("0")), Err("0".to_string()));
+        assert_eq!(parse_workers(Some("-2")), Err("-2".to_string()));
+        assert_eq!(parse_workers(Some("")), Err(String::new()));
+    }
+
+    #[test]
+    fn a_garbled_worker_override_panics_with_the_offending_value() {
+        let err = std::panic::catch_unwind(|| Pool::from_override(Some("O4"))).unwrap_err();
+        let msg = payload_message(err);
+        assert!(msg.contains("O4"), "{msg}");
+        assert!(msg.contains(WORKERS_ENV), "{msg}");
+        // An unset override still falls back to hardware parallelism.
+        assert!(Pool::from_override(None).workers() >= 1);
+        assert_eq!(Pool::from_override(Some("3")).workers(), 3);
     }
 
     #[test]

@@ -13,6 +13,8 @@ pub enum TopologyError {
     DimensionTooSmall,
     /// `n^k` overflows the node index space (`u32`).
     TooManyNodes,
+    /// A shard dimension passed to [`crate::DomainMap::new`] is `>= k`.
+    ShardDimensionOutOfRange,
 }
 
 impl fmt::Display for TopologyError {
@@ -21,6 +23,9 @@ impl fmt::Display for TopologyError {
             TopologyError::ArityTooSmall => write!(f, "bus arity n must be at least 2"),
             TopologyError::DimensionTooSmall => write!(f, "dimension k must be at least 1"),
             TopologyError::TooManyNodes => write!(f, "n^k exceeds the supported node count"),
+            TopologyError::ShardDimensionOutOfRange => {
+                write!(f, "shard dimension must be less than k")
+            }
         }
     }
 }

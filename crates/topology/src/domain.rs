@@ -1,0 +1,225 @@
+//! Shard-domain mapping for conservative parallel simulation.
+//!
+//! A [`DomainMap`] partitions the `n^k` Multicube into `n` *shard domains*
+//! along one chosen dimension: every node belongs to the domain given by
+//! its coordinate along that dimension, buses along the shard dimension
+//! are the only *cross-domain* edges, and every other bus lies entirely
+//! inside one domain. For the paper's 3-D machine sharded along dimension
+//! 0 this yields `n` planes of `n x n` processors: each plane keeps its
+//! full row/column bus grid private, and only the "depth" buses carry
+//! inter-domain traffic — exactly the cut a conservative parallel DES
+//! needs, because the minimum cross-domain protocol latency then bounds
+//! how far one domain's clock may run ahead of its neighbours.
+
+use crate::cube::{Multicube, TopologyError};
+use crate::ids::{BusId, BusKind, NodeId};
+
+/// A partition of an `n^k` Multicube into `n` single-coordinate shard
+/// domains. See the module docs.
+///
+/// # Example
+///
+/// ```
+/// use multicube_topology::{DomainMap, Multicube};
+///
+/// // 4^3 = 64 processors in 4 planes of 16.
+/// let cube = Multicube::new(4, 3).unwrap();
+/// let map = DomainMap::new(cube, 0).unwrap();
+/// assert_eq!(map.num_domains(), 4);
+/// assert_eq!(map.nodes_per_domain(), 16);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainMap {
+    cube: Multicube,
+    dim: u8,
+}
+
+impl DomainMap {
+    /// Shards `cube` along dimension `dim`.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::ShardDimensionOutOfRange`] if `dim >= k`.
+    pub fn new(cube: Multicube, dim: u8) -> Result<Self, TopologyError> {
+        if dim >= cube.dimension() {
+            return Err(TopologyError::ShardDimensionOutOfRange);
+        }
+        Ok(DomainMap { cube, dim })
+    }
+
+    /// The underlying topology.
+    pub fn cube(&self) -> &Multicube {
+        &self.cube
+    }
+
+    /// The dimension the cube is sharded along.
+    pub fn shard_dim(&self) -> u8 {
+        self.dim
+    }
+
+    /// Number of shard domains (`n`).
+    pub fn num_domains(&self) -> u32 {
+        self.cube.arity()
+    }
+
+    /// Nodes per domain (`n^(k-1)`).
+    pub fn nodes_per_domain(&self) -> u32 {
+        self.cube.num_nodes() / self.cube.arity()
+    }
+
+    /// The domain `node` belongs to: its coordinate along the shard
+    /// dimension.
+    pub fn domain_of(&self, node: NodeId) -> u32 {
+        self.cube.coords(node)[self.dim as usize]
+    }
+
+    /// The node's linear index *within its domain*: the row-major packing
+    /// of its remaining `k-1` coordinates. Two nodes in different domains
+    /// with equal local indices are each other's images under translation
+    /// along the shard dimension.
+    pub fn local_index(&self, node: NodeId) -> u32 {
+        let coords = self.cube.coords(node);
+        let mut idx = 0u32;
+        for (d, &c) in coords.iter().enumerate() {
+            if d != self.dim as usize {
+                idx = idx * self.cube.arity() + c;
+            }
+        }
+        idx
+    }
+
+    /// The node of `domain` with the given [`local_index`](Self::local_index)
+    /// (the inverse of `(domain_of, local_index)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain >= n` or `local >= n^(k-1)`.
+    pub fn node_of(&self, domain: u32, local: u32) -> NodeId {
+        assert!(domain < self.num_domains(), "domain out of range");
+        assert!(local < self.nodes_per_domain(), "local index out of range");
+        let n = self.cube.arity();
+        let k = self.cube.dimension() as usize;
+        let mut coords = vec![0u32; k];
+        let mut rest = local;
+        for d in (0..k).rev() {
+            if d == self.dim as usize {
+                continue;
+            }
+            coords[d] = rest % n;
+            rest /= n;
+        }
+        coords[self.dim as usize] = domain;
+        self.cube.node_at(&coords)
+    }
+
+    /// Iterates over the nodes of `domain` in local-index order.
+    pub fn nodes_in(&self, domain: u32) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes_per_domain()).map(move |local| self.node_of(domain, local))
+    }
+
+    /// Whether `bus` crosses domains (runs along the shard dimension).
+    /// Every other bus lies entirely inside one domain.
+    pub fn is_cross_domain(&self, bus: BusId) -> bool {
+        bus.kind() == BusKind::Dim(self.dim)
+    }
+
+    /// The cross-domain bus through `node` (its shard-dimension bus): the
+    /// edge over which this node exchanges ops with its images in every
+    /// other domain.
+    pub fn cross_bus_of(&self, node: NodeId) -> BusId {
+        self.cube.bus_through(self.dim, node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(n: u32, k: u8, dim: u8) -> DomainMap {
+        DomainMap::new(Multicube::new(n, k).unwrap(), dim).unwrap()
+    }
+
+    #[test]
+    fn rejects_out_of_range_dimension() {
+        let cube = Multicube::new(4, 3).unwrap();
+        assert_eq!(
+            DomainMap::new(cube, 3),
+            Err(TopologyError::ShardDimensionOutOfRange)
+        );
+    }
+
+    #[test]
+    fn domains_partition_the_nodes() {
+        for dim in 0..3u8 {
+            let map = map(3, 3, dim);
+            let mut seen = [false; 27];
+            for domain in 0..map.num_domains() {
+                for node in map.nodes_in(domain) {
+                    assert_eq!(map.domain_of(node), domain);
+                    assert!(!seen[node.as_usize()], "node in two domains");
+                    seen[node.as_usize()] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "dim {dim} misses nodes");
+        }
+    }
+
+    #[test]
+    fn local_index_roundtrips_and_is_translation_invariant() {
+        let map = map(4, 3, 0);
+        for domain in 0..map.num_domains() {
+            for node in map.nodes_in(domain) {
+                let local = map.local_index(node);
+                assert_eq!(map.node_of(domain, local), node);
+                // The image of this node in every other domain shares the
+                // local index.
+                for other in 0..map.num_domains() {
+                    let image = map.node_of(other, local);
+                    assert_eq!(map.local_index(image), local);
+                    assert_eq!(map.domain_of(image), other);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharding_dim0_preserves_plane_local_order() {
+        // For the 3-D machine sharded along dimension 0, the local index
+        // is exactly the node's row-major index within its plane — the id
+        // a plane-local `n x n` Machine uses.
+        let map = map(4, 3, 0);
+        let plane_size = map.nodes_per_domain();
+        for node in map.cube().nodes() {
+            assert_eq!(map.domain_of(node), node.index() / plane_size);
+            assert_eq!(map.local_index(node), node.index() % plane_size);
+        }
+    }
+
+    #[test]
+    fn only_shard_dimension_buses_cross_domains() {
+        let map = map(3, 3, 1);
+        for bus in map.cube().buses() {
+            let members: Vec<_> = map.cube().nodes_on_bus(bus).collect();
+            let domains: std::collections::HashSet<_> =
+                members.iter().map(|&m| map.domain_of(m)).collect();
+            if map.is_cross_domain(bus) {
+                assert_eq!(domains.len() as u32, map.num_domains());
+            } else {
+                assert_eq!(domains.len(), 1, "{bus} leaks across domains");
+            }
+        }
+    }
+
+    #[test]
+    fn cross_bus_connects_a_node_to_all_its_images() {
+        let map = map(4, 3, 0);
+        let node = map.node_of(1, 7);
+        let bus = map.cross_bus_of(node);
+        assert!(map.is_cross_domain(bus));
+        let members: Vec<_> = map.cube().nodes_on_bus(bus).collect();
+        assert!(members.contains(&node));
+        for &m in &members {
+            assert_eq!(map.local_index(m), 7);
+        }
+    }
+}

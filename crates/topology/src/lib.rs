@@ -31,10 +31,12 @@
 //! ```
 
 pub mod cube;
+pub mod domain;
 pub mod grid;
 pub mod ids;
 pub mod scaling;
 
 pub use cube::{Multicube, TopologyError};
+pub use domain::DomainMap;
 pub use grid::Grid;
 pub use ids::{BusId, BusKind, NodeId};
