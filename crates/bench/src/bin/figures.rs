@@ -22,6 +22,10 @@
 //!   shootout  protocol shootout — Multicube vs single-bus MESI vs Dragon
 //!             on identical seeded workloads (writes BENCH_shootout.csv;
 //!             override the path with --shootout-out)
+//!   serve     S-3: the trace-driven serving tier — production-shaped
+//!             streams replayed from chunked v2 traces under FCFS vs
+//!             round-robin arbitration, 10^7+ transactions in full mode
+//!             (writes BENCH_serve.json; override with --serve-out)
 //!   model     T-7.1: exhaustive model-checker state counts per engine +
 //!             simulator-subset cross-validation (--quick = push gate
 //!             config, default = nightly soak config)
@@ -32,9 +36,10 @@ use multicube_bench::{
     baseline_rows, costs_table, fault_sweep_rows, mlt_rows, render_bus_telemetry,
     render_class_stats, render_cube_study, render_failures, render_fault_sweep, render_resilience,
     render_scaling_json, render_scaling_study, render_series, render_series_utilization,
-    render_shootout, robustness_rows, run_cube_study, run_scaling_study, run_shootout,
-    scaling_rows, series_view, sim_figure2, sim_figure3, sim_figure4, sim_latency_modes,
-    snarf_rows, sync_rows, CubeStudyConfig, Pool, ScalingStudyConfig, SimSeries, SweepConfig,
+    render_serve, render_serve_json, render_shootout, robustness_rows, run_cube_study,
+    run_scaling_study, run_serve, run_shootout, scaling_rows, series_view, sim_figure2,
+    sim_figure3, sim_figure4, sim_latency_modes, snarf_rows, sync_rows, validate_serve_report,
+    CubeStudyConfig, Pool, ScalingStudyConfig, ServeConfig, SimSeries, SweepConfig,
 };
 use multicube_mva::figures as mva;
 
@@ -47,6 +52,8 @@ struct Options {
     scaling_out: std::path::PathBuf,
     /// Where the protocol shootout writes its CSV artifact.
     shootout_out: std::path::PathBuf,
+    /// Where the serving-tier study writes its JSON artifact.
+    serve_out: std::path::PathBuf,
     /// The worker pool every sweep fans out through
     /// (MULTICUBE_POOL_WORKERS overrides the worker count).
     pool: Pool,
@@ -488,6 +495,42 @@ fn shootout(opts: &Options) {
     }
 }
 
+/// S-3: the trace-driven serving tier. Each application's request
+/// stream is synthesized offline into a chunked v2 trace, then replayed
+/// through the machine once per arbitration policy (identical trace per
+/// app), written as `BENCH_serve.json` alongside the printed table (see
+/// `multicube_bench::serve` for the methodology).
+fn serve(opts: &Options) {
+    let cfg = if opts.quick {
+        ServeConfig::quick()
+    } else {
+        ServeConfig::full()
+    };
+    let study = run_serve(&opts.pool, &cfg);
+    println!(
+        "{}",
+        render_serve(
+            &format!(
+                "S-3: serving tier — {rpn} requests/node on {n}x{n} nodes, \
+                 FCFS vs round-robin arbitration",
+                rpn = cfg.requests_per_node,
+                n = cfg.n
+            ),
+            &study
+        )
+    );
+    let json = render_serve_json(&study);
+    validate_serve_report(&json, &cfg).expect("serve report validates");
+    std::fs::write(&opts.serve_out, &json).expect("write serve json");
+    eprintln!("wrote {}", opts.serve_out.display());
+    if let Some(dir) = &opts.csv {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        let path = dir.join("serve.csv");
+        multicube_bench::write_serve_csv(&path, &study.rows).expect("write csv");
+        eprintln!("wrote {}", path.display());
+    }
+}
+
 /// T-7.1: the exhaustive protocol verification table — explored-state
 /// counts per engine from the `multicube-model` checker, plus the
 /// simulator-subset cross-validation. `--quick` runs the push-gate
@@ -537,6 +580,7 @@ fn main() {
         csv: None,
         scaling_out: std::path::PathBuf::from("BENCH_scaling.json"),
         shootout_out: std::path::PathBuf::from("BENCH_shootout.csv"),
+        serve_out: std::path::PathBuf::from("BENCH_serve.json"),
         pool: Pool::from_env(),
     };
     let mut it = args.iter().peekable();
@@ -565,6 +609,12 @@ fn main() {
                     .map(std::path::PathBuf::from)
                     .expect("--shootout-out needs a path");
             }
+            "--serve-out" => {
+                opts.serve_out = it
+                    .next()
+                    .map(std::path::PathBuf::from)
+                    .expect("--serve-out needs a path");
+            }
             c if !c.starts_with('-') => command = c.to_string(),
             other => panic!("unknown flag {other}"),
         }
@@ -583,6 +633,7 @@ fn main() {
         "kdim" => kdim(&opts),
         "telemetry" => telemetry(&opts),
         "shootout" => shootout(&opts),
+        "serve" => serve(&opts),
         "model" => model(&opts),
         "all" => {
             fig2(&opts);
@@ -598,6 +649,7 @@ fn main() {
             kdim(&opts);
             telemetry(&opts);
             shootout(&opts);
+            serve(&opts);
             model(&opts);
         }
         other => panic!("unknown command {other}; see --help in the source header"),

@@ -15,19 +15,24 @@
 pub mod csv;
 pub mod perf;
 pub mod scaling;
+pub mod serve;
 pub mod shootout;
 pub mod simfig;
 pub mod tables;
 
 pub use csv::{
     write_bus_telemetry_csv, write_class_stats_csv, write_fault_sweep_csv, write_series_csv,
-    write_shootout_csv,
+    write_serve_csv, write_shootout_csv,
 };
 pub use multicube_sim::pool::Pool;
 pub use scaling::{
     render_cube_study, render_scaling_json, render_scaling_study, run_cube_study,
     run_scaling_study, validate_scaling_report, CubePoint, CubeStudy, CubeStudyConfig, CubeTiming,
     ScalingPoint, ScalingStudy, ScalingStudyConfig, SCALING_SCHEMA,
+};
+pub use serve::{
+    render_serve, render_serve_json, run_serve, serve_app_seed, synthesize_serve_trace,
+    validate_serve_report, ServeConfig, ServeRow, ServeStudy, SERVE_APPS, SERVE_SCHEMA,
 };
 pub use shootout::{render_shootout, run_shootout, shootout_point_seed, Shootout, ShootoutRow};
 pub use simfig::{

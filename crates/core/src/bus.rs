@@ -1,10 +1,13 @@
-//! A FIFO-arbitrated broadcast bus.
+//! An arbitrated broadcast bus.
 //!
-//! Each bus serves one operation at a time; queued operations start in
-//! strict FIFO order (the paper's queueing assumption). The machine owns
-//! the event queue, so the bus only does resource bookkeeping: it reports
-//! when an enqueued operation starts and the machine schedules the
-//! completion event.
+//! Each bus serves one operation at a time; which queued operation starts
+//! next is decided by an [`Arbitration`] policy. The default
+//! [`Arbitration::Fcfs`] grants in strict arrival order (the paper's
+//! queueing assumption); [`Arbitration::RoundRobin`] rotates the grant
+//! among requesters, the classic fairness discipline compared against
+//! FCFS by Nikolov & Lerato. The machine owns the event queue, so the bus
+//! only does resource bookkeeping: it reports when an enqueued operation
+//! starts and the machine schedules the completion event.
 
 use multicube_sim::stats::{BusyTracker, Counter};
 use multicube_sim::SimTime;
@@ -12,6 +15,36 @@ use multicube_topology::BusId;
 use std::collections::VecDeque;
 
 use crate::proto::BusOp;
+
+/// The bus-grant policy: which queued operation starts when the bus frees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Arbitration {
+    /// First-come-first-served: grants follow arrival order exactly. This
+    /// is the paper's queueing assumption and the default — the machine's
+    /// event stream under FCFS is bit-identical to the pre-seam bus.
+    #[default]
+    Fcfs,
+    /// Round-robin by requester: when the bus frees, the waiting requester
+    /// closest (in cyclic node order) after the last-granted requester is
+    /// served next; a requester's own operations stay in FIFO order. A
+    /// single chatty node can no longer monopolize consecutive grants.
+    RoundRobin,
+}
+
+impl Arbitration {
+    /// Short label for tables and artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            Arbitration::Fcfs => "fcfs",
+            Arbitration::RoundRobin => "round-robin",
+        }
+    }
+
+    /// Both policies, in comparison order.
+    pub fn all() -> [Arbitration; 2] {
+        [Arbitration::Fcfs, Arbitration::RoundRobin]
+    }
+}
 
 /// One bus: a single-server FIFO queue over broadcast operations.
 ///
@@ -36,6 +69,10 @@ use crate::proto::BusOp;
 #[derive(Debug)]
 pub struct Bus {
     id: BusId,
+    arbitration: Arbitration,
+    /// Requester index of the most recently granted operation (round-robin
+    /// scan origin).
+    last_granted: u32,
     queue: VecDeque<(BusOp, u64)>,
     in_flight: Option<(BusOp, SimTime)>,
     busy: BusyTracker,
@@ -46,10 +83,17 @@ pub struct Bus {
 }
 
 impl Bus {
-    /// Creates an idle bus.
+    /// Creates an idle FCFS bus.
     pub fn new(id: BusId) -> Self {
+        Bus::with_arbitration(id, Arbitration::Fcfs)
+    }
+
+    /// Creates an idle bus with the given grant policy.
+    pub fn with_arbitration(id: BusId, arbitration: Arbitration) -> Self {
         Bus {
             id,
+            arbitration,
+            last_granted: u32::MAX,
             queue: VecDeque::new(),
             in_flight: None,
             busy: BusyTracker::new(),
@@ -63,6 +107,11 @@ impl Bus {
     /// This bus's identity.
     pub fn id(&self) -> BusId {
         self.id
+    }
+
+    /// This bus's grant policy.
+    pub fn arbitration(&self) -> Arbitration {
+        self.arbitration
     }
 
     /// Enqueues `op` with the given bus occupancy in nanoseconds.
@@ -103,7 +152,29 @@ impl Bus {
         if op.streams_data() {
             self.data_ops.incr();
         }
+        self.last_granted = op.originator.index();
         self.in_flight = Some((op, done));
+    }
+
+    /// Picks the next queued operation according to the arbitration policy.
+    fn grant(&mut self) -> Option<(BusOp, u64)> {
+        match self.arbitration {
+            Arbitration::Fcfs => self.queue.pop_front(),
+            Arbitration::RoundRobin => {
+                // The waiting requester cyclically closest after the last
+                // grant wins; among equal requesters the earliest-queued
+                // operation wins (min_by_key keeps the first minimum), so
+                // each node's stream stays FIFO.
+                let origin = self.last_granted.wrapping_add(1);
+                let pos = self
+                    .queue
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, (op, _))| op.originator.index().wrapping_sub(origin))
+                    .map(|(i, _)| i)?;
+                self.queue.remove(pos)
+            }
+        }
     }
 
     /// Retires the in-flight operation at `now`, returning it together with
@@ -116,7 +187,7 @@ impl Bus {
     pub fn complete(&mut self, now: SimTime) -> (BusOp, Option<SimTime>) {
         let (op, done) = self.in_flight.take().expect("no operation in flight");
         assert_eq!(done, now, "completion event fired at the wrong time");
-        match self.queue.pop_front() {
+        match self.grant() {
             Some((next, dur)) => {
                 let next_done = now + dur;
                 self.start(next, next_done, now);
@@ -284,6 +355,92 @@ mod tests {
         assert_eq!(bus.in_flight_completion(), Some(SimTime::from_nanos(170)));
         bus.complete(SimTime::from_nanos(170));
         assert_eq!(bus.in_flight_completion(), None);
+    }
+
+    fn op_from(node: u32, seq: u64) -> BusOp {
+        BusOp::new(
+            OpKind::ReadRowRequest,
+            LineAddr::new(seq),
+            NodeId::new(node),
+            TxnId(seq),
+        )
+    }
+
+    /// Three nodes enqueue while node 0 monopolizes the queue: round-robin
+    /// rotates grants (0, 1, 2, then node 0's backlog) instead of serving
+    /// arrival order.
+    #[test]
+    fn round_robin_rotates_among_requesters() {
+        let mut bus = Bus::with_arbitration(BusId::row(0), Arbitration::RoundRobin);
+        assert_eq!(bus.arbitration(), Arbitration::RoundRobin);
+        let t0 = SimTime::ZERO;
+        let first = bus.enqueue(op_from(0, 1), 10, t0).unwrap();
+        // Arrival order behind the in-flight op: 0, 0, 1, 2.
+        bus.enqueue(op_from(0, 2), 10, t0);
+        bus.enqueue(op_from(0, 3), 10, t0);
+        bus.enqueue(op_from(1, 4), 10, t0);
+        bus.enqueue(op_from(2, 5), 10, t0);
+
+        let mut served = Vec::new();
+        let mut next = Some(first);
+        while let Some(done) = next {
+            let (finished, upcoming) = bus.complete(done);
+            served.push(finished.txn.0);
+            next = upcoming;
+        }
+        // txn 1 was in flight; then node 1, node 2, and node 0's FIFO
+        // backlog (txns 2, 3) — not the FCFS order 2, 3, 4, 5.
+        assert_eq!(served, vec![1, 4, 5, 2, 3]);
+    }
+
+    /// Under FCFS the same arrival order is served as-is: the seam's
+    /// default is byte-identical to the pre-seam bus.
+    #[test]
+    fn fcfs_default_serves_arrival_order() {
+        let mut bus = Bus::new(BusId::row(0));
+        assert_eq!(bus.arbitration(), Arbitration::Fcfs);
+        let t0 = SimTime::ZERO;
+        let first = bus.enqueue(op_from(0, 1), 10, t0).unwrap();
+        bus.enqueue(op_from(0, 2), 10, t0);
+        bus.enqueue(op_from(1, 3), 10, t0);
+        bus.enqueue(op_from(2, 4), 10, t0);
+        let mut served = Vec::new();
+        let mut next = Some(first);
+        while let Some(done) = next {
+            let (finished, upcoming) = bus.complete(done);
+            served.push(finished.txn.0);
+            next = upcoming;
+        }
+        assert_eq!(served, vec![1, 2, 3, 4]);
+    }
+
+    /// The round-robin scan origin follows the last grant, so a requester
+    /// never gets two consecutive grants while others wait.
+    #[test]
+    fn round_robin_never_grants_twice_while_others_wait() {
+        let mut bus = Bus::with_arbitration(BusId::row(0), Arbitration::RoundRobin);
+        let t0 = SimTime::ZERO;
+        let mut next = bus.enqueue(op_from(3, 0), 10, t0);
+        let mut seq = 1u64;
+        for _ in 0..4 {
+            for node in [0u32, 3] {
+                bus.enqueue(op_from(node, seq), 10, t0);
+                seq += 1;
+            }
+        }
+        let mut grants = Vec::new();
+        while let Some(done) = next {
+            let (finished, upcoming) = bus.complete(done);
+            grants.push(finished.originator.index());
+            next = upcoming;
+        }
+        for w in grants.windows(2) {
+            assert_ne!(
+                w[0], w[1],
+                "consecutive grants to node {}: {grants:?}",
+                w[0]
+            );
+        }
     }
 
     #[test]

@@ -5,6 +5,7 @@ use core::fmt;
 use multicube_mem::{CacheGeometry, LineGeometry};
 use multicube_topology::{Grid, TopologyError};
 
+use crate::bus::Arbitration;
 use crate::fault::{FaultConfigError, FaultPlan, RetryPolicy, Watchdog};
 
 /// Bus and memory timing parameters, all in nanoseconds.
@@ -210,6 +211,8 @@ pub struct MachineConfig {
     check_every: u64,
     /// Which protocol engine drives the machine.
     engine: EngineKind,
+    /// Bus-grant policy shared by every bus in the machine.
+    arbitration: Arbitration,
     /// Whether the deprecated `with_signal_drop_probability` shim ran.
     shim_signal_drop: bool,
     /// Whether `with_fault_plan` installed an explicit plan.
@@ -248,6 +251,7 @@ impl MachineConfig {
             checking: true,
             check_every: 0,
             engine: EngineKind::Multicube,
+            arbitration: Arbitration::Fcfs,
             shim_signal_drop: false,
             explicit_fault_plan: false,
         })
@@ -416,6 +420,16 @@ impl MachineConfig {
         self
     }
 
+    /// Selects the bus-grant policy for every bus in the machine (default
+    /// [`Arbitration::Fcfs`], the paper's queueing assumption — and the
+    /// policy under which the machine's event stream is bit-identical to
+    /// the pre-seam implementation).
+    #[must_use]
+    pub fn with_arbitration(mut self, arbitration: Arbitration) -> Self {
+        self.arbitration = arbitration;
+        self
+    }
+
     /// Validates the configuration, returning derived line geometry.
     ///
     /// # Errors
@@ -451,6 +465,11 @@ impl MachineConfig {
     /// The selected coherence-protocol engine.
     pub fn engine(&self) -> EngineKind {
         self.engine
+    }
+
+    /// The selected bus-grant policy.
+    pub fn arbitration(&self) -> Arbitration {
+        self.arbitration
     }
 
     /// The grid topology.

@@ -59,6 +59,7 @@ pub mod pdes;
 pub mod proto;
 pub mod trace;
 
+pub use bus::Arbitration;
 pub use check::{check_engine, CoherenceView, CoherenceViolation};
 pub use config::{EngineKind, LatencyMode, MachineConfig, MachineConfigError, Timing};
 pub use driver::{Request, RequestKind, SyntheticSpec};

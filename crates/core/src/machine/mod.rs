@@ -234,7 +234,7 @@ impl Machine {
         let buses = (0..n)
             .map(multicube_topology::BusId::row)
             .chain((0..n).map(multicube_topology::BusId::column))
-            .map(Bus::new)
+            .map(|id| Bus::with_arbitration(id, config.arbitration()))
             .collect();
         let controllers = grid
             .nodes()

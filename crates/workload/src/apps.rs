@@ -279,6 +279,83 @@ impl Workload for Search {
     }
 }
 
+/// Web-session cache traffic: front-end servers answering user requests
+/// against a Zipf-popular shared content set (the hot front page and a
+/// long tail), with per-session private state writes, a small set of hot
+/// shared hit counters, and occasional whole-line session-log appends
+/// (ALLOCATE).
+///
+/// The read-heavy Zipf mix is the serving-tier profile the paper's
+/// "millions of users" framing implies: most bus traffic is shared-read
+/// fetches that cache well, punctuated by counter writes that invalidate
+/// broadly.
+#[derive(Debug)]
+pub struct WebSession {
+    content_lines: u64,
+    skew: f64,
+    /// Per-node session-state cursor (sessions touch fresh private slots).
+    session: Vec<u64>,
+    log_cursor: u64,
+}
+
+impl WebSession {
+    /// A web workload over `content_lines` content lines with Zipf skew
+    /// `skew` (in `(0,1)`; higher concentrates on the front page).
+    pub fn new(content_lines: u64, skew: f64) -> Self {
+        WebSession {
+            content_lines: content_lines.max(1),
+            skew: skew.clamp(0.01, 0.99),
+            session: Vec::new(),
+            log_cursor: 0,
+        }
+    }
+
+    fn session(&mut self, node: NodeId) -> &mut u64 {
+        let idx = node.as_usize();
+        if self.session.len() <= idx {
+            self.session.resize(idx + 1, 0);
+        }
+        &mut self.session[idx]
+    }
+}
+
+impl Workload for WebSession {
+    fn name(&self) -> &'static str {
+        "web-session"
+    }
+
+    fn next(&mut self, node: NodeId, rng: &mut DeterministicRng) -> Option<(u64, Request)> {
+        // Web requests are light: short think times keep the buses busy.
+        let think = 1_500 + rng.below(3_000);
+        let roll = rng.uniform();
+        Some(if roll < 0.75 {
+            // Content fetch: Zipf-popular shared lines.
+            let line = LineAddr::new(rng.zipf(self.content_lines, self.skew));
+            (think, Request::read(line))
+        } else if roll < 0.78 {
+            // Content update: an editor republishes a popular page,
+            // invalidating the copies every front end has cached.
+            let line = LineAddr::new(rng.zipf(self.content_lines, self.skew));
+            (think, Request::write(line))
+        } else if roll < 0.93 {
+            // Session-state update in the node's private heap.
+            let cursor = self.session(node);
+            *cursor += 1;
+            let slot = *cursor;
+            (think, Request::write(private_line(node, slot % 128)))
+        } else if roll < 0.98 {
+            // Hot hit-counter bump: few lines, every server writes them.
+            let line = LineAddr::new(0x7E00 + rng.zipf(16, self.skew));
+            (think, Request::write(line))
+        } else {
+            // Session-log append: a fresh whole line — ALLOCATE.
+            self.log_cursor += 1;
+            let line = LineAddr::new(0xC000 + (self.log_cursor % 0x4000));
+            (think, Request::new(RequestKind::Allocate, line))
+        })
+    }
+}
+
 /// A tunable hot-spot stress workload: a Zipf-skewed shared set with a
 /// configurable write fraction — the knob that moves a machine from the
 /// comfortable Figure 2 regime into invalidation-storm territory.
@@ -361,6 +438,19 @@ mod tests {
         let report = WorkloadRunner::new(80).run(&mut m, &mut Search::new(64, 4));
         assert_eq!(report.requests_completed, 320);
         assert!(report.kind_counts[3] > 0, "lock probes must happen");
+    }
+
+    #[test]
+    fn web_session_is_read_heavy_with_hot_writes() {
+        let mut m = machine();
+        let report = WorkloadRunner::new(200).run(&mut m, &mut WebSession::new(512, 0.8));
+        assert_eq!(report.requests_completed, 800);
+        // Content fetches dominate...
+        assert!(report.kind_counts[0] > report.kind_counts[1] * 2);
+        // ...but the shared hit counters still force invalidations.
+        assert!(m.metrics().invalidations.get() > 0);
+        // Session logs append whole lines.
+        assert!(report.kind_counts[2] > 0);
     }
 
     #[test]

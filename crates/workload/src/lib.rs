@@ -19,7 +19,10 @@
 //! [`Trace`] records any workload's request stream to a compact binary
 //! format and replays it bit-identically — the answer to the paper's
 //! complaint that "very little data has been published on the memory
-//! reference behavior of parallel programs".
+//! reference behavior of parallel programs". The chunked v2 format
+//! ([`TraceV2Writer`]/[`TraceV2Reader`]) streams 10⁷+-record traces and
+//! replays from any chunk boundary; [`WebSession`] adds front-end cache
+//! traffic (Zipf-popular content) to the serving-tier workload set.
 //!
 //! # Example
 //!
@@ -37,6 +40,9 @@ pub mod apps;
 pub mod runner;
 pub mod trace;
 
-pub use apps::{HotSpot, Oltp, PhasedNumeric, ProducerConsumer, Search};
+pub use apps::{HotSpot, Oltp, PhasedNumeric, ProducerConsumer, Search, WebSession};
 pub use runner::{Workload, WorkloadReport, WorkloadRunner};
-pub use trace::{Trace, TracePlayer, TraceRecord, TraceRecorder};
+pub use trace::{
+    StreamingPlayer, Trace, TraceDecodeError, TraceEncodeError, TracePlayer, TraceRecord,
+    TraceRecorder, TraceV2Reader, TraceV2Writer,
+};

@@ -1,7 +1,7 @@
 //! The workload runner: drives a machine with per-node request streams.
 
 use multicube::{Machine, Request, RequestKind};
-use multicube_sim::stats::OnlineStats;
+use multicube_sim::stats::{Histogram, OnlineStats};
 use multicube_sim::{DeterministicRng, SimTime};
 use multicube_topology::NodeId;
 
@@ -33,6 +33,11 @@ pub struct WorkloadReport {
     pub ops_per_request: f64,
     /// Latency statistics over all requests (ns).
     pub latency_ns: OnlineStats,
+    /// Latency distribution over all requests (power-of-two ns buckets;
+    /// the percentile source for the serving tier).
+    pub latency_hist: Histogram,
+    /// Per-node latency statistics (fairness and starvation analysis).
+    pub node_latency_ns: Vec<OnlineStats>,
     /// Reads / writes / allocates / test-and-sets / writebacks completed.
     pub kind_counts: [u64; 5],
     /// Total simulated time.
@@ -76,6 +81,8 @@ impl WorkloadRunner {
         let mut think_ns = vec![0.0f64; count];
         let mut blocked_ns = vec![0.0f64; count];
         let mut latency = OnlineStats::new();
+        let mut latency_hist = Histogram::new();
+        let mut node_latency = vec![OnlineStats::new(); count];
         let mut kind_counts = [0u64; 5];
         let mut completed = 0u64;
 
@@ -114,6 +121,8 @@ impl WorkloadRunner {
             let idx = c.node.as_usize();
             blocked_ns[idx] += c.latency.as_nanos() as f64;
             latency.record(c.latency.as_nanos() as f64);
+            latency_hist.record_duration(c.latency);
+            node_latency[idx].record(c.latency.as_nanos() as f64);
             let k = match c.kind {
                 RequestKind::Read => 0,
                 RequestKind::Write => 1,
@@ -157,6 +166,8 @@ impl WorkloadRunner {
                 0.0
             },
             latency_ns: latency,
+            latency_hist,
+            node_latency_ns: node_latency,
             kind_counts,
             elapsed: machine.now(),
         }

@@ -1,0 +1,183 @@
+//! Trace-format robustness: proptest round-trips over both binary
+//! formats, a truncation sweep proving every prefix of a valid buffer
+//! decodes to an error (never a panic), and the replay-cost pin — a
+//! 4×4-node replay touches each record exactly once.
+
+use multicube::{Machine, MachineConfig, Request, RequestKind};
+use multicube_mem::LineAddr;
+use multicube_sim::DeterministicRng;
+use multicube_topology::NodeId;
+use multicube_workload::{Trace, TraceDecodeError, TraceV2Reader, Workload, WorkloadRunner};
+use proptest::prelude::*;
+
+fn kind_of(code: u8) -> RequestKind {
+    match code {
+        0 => RequestKind::Read,
+        1 => RequestKind::Write,
+        2 => RequestKind::Allocate,
+        3 => RequestKind::TestAndSet,
+        _ => RequestKind::Writeback,
+    }
+}
+
+/// A random record stream: (node, delay, kind code, line).
+fn records(max_len: usize) -> impl Strategy<Value = Vec<(u32, u64, u8, u64)>> {
+    prop::collection::vec((0u32..64, any::<u64>(), 0u8..5, any::<u64>()), 0..max_len)
+}
+
+fn build(records: &[(u32, u64, u8, u64)]) -> Trace {
+    let mut t = Trace::new();
+    for &(node, delay, kind, line) in records {
+        t.push(
+            NodeId::new(node),
+            delay,
+            Request::new(kind_of(kind), LineAddr::new(line)),
+        );
+    }
+    t
+}
+
+proptest! {
+    /// v1: any record stream survives encode/decode bit-identically.
+    #[test]
+    fn v1_roundtrip(recs in records(200)) {
+        let trace = build(&recs);
+        let bytes = trace.to_bytes().expect("well under the u32 count");
+        prop_assert_eq!(Trace::from_bytes(&bytes).expect("own encoding"), trace);
+    }
+
+    /// v2: any record stream survives the chunked encoding at any chunk
+    /// size, through both the one-shot and the streaming reader.
+    #[test]
+    fn v2_roundtrip(recs in records(200), chunk in 1usize..50) {
+        let trace = build(&recs);
+        let bytes = trace.to_bytes_v2(chunk);
+        prop_assert_eq!(Trace::from_bytes(&bytes).expect("own encoding"), trace.clone());
+        let reader = TraceV2Reader::new(&bytes).expect("own encoding");
+        prop_assert_eq!(reader.record_count(), trace.len() as u64);
+        prop_assert_eq!(reader.read_all().expect("validated"), trace.clone());
+        // The offset tables account for every record of every node.
+        let per_node: u64 = reader.node_record_counts().iter().sum();
+        prop_assert_eq!(per_node, trace.len() as u64);
+    }
+
+    /// Decoding never panics on arbitrary bytes — worst case is an error.
+    #[test]
+    fn decode_arbitrary_bytes_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = Trace::from_bytes(&bytes);
+        let _ = TraceV2Reader::new(&bytes);
+    }
+}
+
+/// Every strict prefix of a valid buffer decodes to `BadMagic` or
+/// `Truncated` — never a panic, and never a silently short trace.
+#[test]
+fn truncation_sweep_both_formats() {
+    let mut t = Trace::new();
+    for i in 0..40u64 {
+        t.push(
+            NodeId::new((i % 5) as u32),
+            i * 7,
+            Request::new(kind_of((i % 5) as u8), LineAddr::new(i * 13)),
+        );
+    }
+    let v1 = t.to_bytes().unwrap();
+    let v2 = t.to_bytes_v2(9);
+
+    for (label, bytes) in [("v1", &v1), ("v2", &v2)] {
+        for len in 0..bytes.len() {
+            let err = Trace::from_bytes(&bytes[..len])
+                .expect_err(&format!("{label} prefix of {len} bytes must not decode"));
+            assert!(
+                matches!(
+                    err,
+                    TraceDecodeError::BadMagic | TraceDecodeError::Truncated
+                ),
+                "{label} prefix of {len} bytes: unexpected error {err:?}"
+            );
+        }
+        // The full buffer still decodes.
+        assert_eq!(Trace::from_bytes(bytes).unwrap(), t, "{label}");
+    }
+
+    // The streaming reader agrees on every v2 prefix.
+    for len in 0..v2.len() {
+        let err = TraceV2Reader::new(&v2[..len]).expect_err("prefix must not validate");
+        assert!(
+            matches!(
+                err,
+                TraceDecodeError::BadMagic | TraceDecodeError::Truncated
+            ),
+            "v2 reader prefix of {len} bytes: unexpected error {err:?}"
+        );
+    }
+}
+
+/// The replay-cost pin: a 16-node (4×4) replay hands out each record
+/// exactly once — the per-node index makes every `next` call O(1), so
+/// the delivered streams partition the trace with nothing scanned twice
+/// or skipped.
+#[test]
+fn four_by_four_replay_touches_each_record_exactly_once() {
+    const NODES: u32 = 16;
+    let mut t = Trace::new();
+    // An uneven interleave: node k gets 10 + k records, tagged by a
+    // unique (delay, line) pair so deliveries are attributable.
+    let mut serial = 0u64;
+    for round in 0..26u64 {
+        for node in 0..NODES {
+            if round < 10 + node as u64 {
+                t.push(
+                    NodeId::new(node),
+                    1_000 + serial,
+                    Request::read(LineAddr::new(serial)),
+                );
+                serial += 1;
+            }
+        }
+    }
+
+    let mut player = t.player();
+    let mut rng = DeterministicRng::seed(3);
+    let mut delivered = 0u64;
+    for node in 0..NODES {
+        let expected: Vec<(u64, u64)> = t
+            .iter()
+            .filter(|r| r.node == node)
+            .map(|r| (r.delay_ns, r.line))
+            .collect();
+        let mut got = Vec::new();
+        while let Some((delay, req)) = player.next(NodeId::new(node), &mut rng) {
+            got.push((delay, req.line.index()));
+            delivered += 1;
+        }
+        assert_eq!(
+            got, expected,
+            "node {node} must replay its own records in order"
+        );
+    }
+    assert_eq!(delivered, t.len() as u64, "every record delivered");
+    assert_eq!(player.served(), t.len() as u64);
+    assert_eq!(player.remaining(), 0, "nothing left behind");
+    // Exhausted nodes stay exhausted; out-of-range nodes get nothing.
+    assert!(player.next(NodeId::new(0), &mut rng).is_none());
+    assert!(player.next(NodeId::new(99), &mut rng).is_none());
+}
+
+/// The same exactly-once property holds when a 4×4 machine drives the
+/// replay through the runner.
+#[test]
+fn four_by_four_machine_replay_completes_every_record() {
+    let mut m = Machine::new(MachineConfig::grid(4).unwrap(), 21).unwrap();
+    let mut rec = Trace::recording(multicube_workload::Oltp::new(32));
+    let original = WorkloadRunner::new(30).run(&mut m, &mut rec);
+    let trace = rec.into_trace();
+    assert_eq!(trace.len() as u64, original.requests_completed);
+
+    let mut m2 = Machine::new(MachineConfig::grid(4).unwrap(), 21).unwrap();
+    let mut player = trace.player();
+    let replay = WorkloadRunner::new(30).run(&mut m2, &mut player);
+    assert_eq!(replay.requests_completed, trace.len() as u64);
+    assert_eq!(player.served(), trace.len() as u64);
+    assert_eq!(player.remaining(), 0);
+}

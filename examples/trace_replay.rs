@@ -16,7 +16,7 @@ fn main() {
     let mut recorder = Trace::recording(Oltp::new(64));
     let original = WorkloadRunner::new(100).run(&mut machine, &mut recorder);
     let trace = recorder.into_trace();
-    let bytes = trace.to_bytes();
+    let bytes = trace.to_bytes().expect("fits the v1 u32 record count");
     println!(
         "recorded {} requests ({} bytes serialized); original run: efficiency {:.4}, {:.2} ops/request",
         trace.len(),
