@@ -254,10 +254,13 @@ fn scaling_formulas() {
 
 /// The measured scaling study: the full n ∈ {8,16,24,32} (64–1024
 /// processor) grid efficiency + utilization sweep, plus the parallel-DES
-/// cube study (n³ = 512–32768 processors through the plane-sharded
-/// conservative scheduler), written together as `BENCH_scaling.json`
-/// alongside the printed tables. Quick mode records only deterministic
-/// cube fields, so the artifact is byte-identical at every worker count.
+/// cube study (n³ = 512–32768 processors through the plane- or
+/// column-sharded conservative scheduler), written together as
+/// `BENCH_scaling.json` alongside the printed tables. Quick mode records
+/// only deterministic cube fields, so the artifact is byte-identical at
+/// every worker count, shard granularity (`MULTICUBE_PDES_SHARDS`), and
+/// executor (`MULTICUBE_PDES_EXECUTOR`) — the CI pool-determinism job
+/// diffs exactly that.
 fn scaling_study(opts: &Options) {
     let mut cfg = if opts.quick {
         ScalingStudyConfig::quick()
@@ -269,11 +272,17 @@ fn scaling_study(opts: &Options) {
     }
     let study = run_scaling_study(&opts.pool, &cfg);
     println!("{}", render_scaling_study(&study));
-    let cube_cfg = if opts.quick {
+    let mut cube_cfg = if opts.quick {
         CubeStudyConfig::quick(opts.pool.workers())
     } else {
         CubeStudyConfig::full(opts.pool.workers())
     };
+    if let Some(shards) = multicube::pdes::CubeShards::from_env() {
+        cube_cfg.shards = shards;
+    }
+    if let Some(executor) = multicube_sim::pdes::ExecutorKind::from_env() {
+        cube_cfg.executor = executor;
+    }
     let cube = run_cube_study(&cube_cfg);
     println!("{}", render_cube_study(&cube));
     let json = render_scaling_json(&study, Some(&cube));

@@ -22,9 +22,14 @@ use multicube_bench::perf::{
 };
 
 /// The kernels the CI regression guard watches: the serial machine core
-/// and the conservative-parallel scheduler's events/sec kernel. A
-/// baseline predating a kernel is skipped gracefully for that kernel.
-const GUARD_KERNELS: [&str; 2] = ["machine_1k_transactions", "cube_pdes_events"];
+/// and the conservative-parallel scheduler's events/sec kernels — both
+/// the serial reference path and the column-sharded work-stealing path.
+/// A baseline predating a kernel is skipped gracefully for that kernel.
+const GUARD_KERNELS: [&str; 3] = [
+    "machine_1k_transactions",
+    "cube_pdes_events",
+    "cube_pdes_events_parallel",
+];
 
 fn main() -> ExitCode {
     let mut quick = false;

@@ -298,6 +298,30 @@ fn kernel_cube_pdes(_quick: bool) -> u64 {
     report.events_delivered
 }
 
+/// The `cube_pdes_events_parallel` kernel: the same cube as
+/// `cube_pdes_events`, but through the deepest parallel path — column-bus
+/// shard granularity (16 shards), the work-stealing executor at two
+/// workers, and the adaptive conservative window. Guarded alongside the
+/// serial kernel so regressions in the parallel machinery (round
+/// barriers, steal queues, window recomputation) are caught even when the
+/// serial path is unchanged. Delivers the same machine events as the
+/// serial kernel — the run is byte-identical by construction — so the two
+/// kernels' per-unit numbers are directly comparable.
+fn kernel_cube_pdes_parallel(_quick: bool) -> u64 {
+    let mut cfg = multicube::pdes::CubeConfig::new(4);
+    cfg.txns_per_node = 32;
+    cfg.remote_ops = 128;
+    cfg.remote_gap_ns = 300.0;
+    cfg.seed = 0x5EED;
+    cfg.workers = 2;
+    cfg.shards = multicube::pdes::CubeShards::Column;
+    cfg.executor = multicube_sim::pdes::ExecutorKind::WorkStealing;
+    cfg.adaptive_window = true;
+    cfg.check = false;
+    let report = multicube::pdes::run_cube(&cfg);
+    report.events_delivered
+}
+
 /// One kernel whose body panicked: the harness reports it and keeps the
 /// other kernels' numbers instead of aborting the whole report.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -356,6 +380,13 @@ pub fn run_all(cfg: &PerfConfig) -> (Vec<KernelResult>, Vec<KernelFailure>) {
              scheduler, serial reference execution; units are machine events",
             CUBE_PDES_EVENTS,
             Box::new(move || kernel_cube_pdes(quick)),
+        ),
+        (
+            "cube_pdes_events_parallel",
+            "the same cube through 16 column-bus shards, work-stealing \
+             executor at 2 workers, adaptive window; units are machine events",
+            CUBE_PDES_EVENTS,
+            Box::new(move || kernel_cube_pdes_parallel(quick)),
         ),
     ];
     let names: Vec<&'static str> = kernels.iter().map(|(name, _, _, _)| *name).collect();
@@ -614,6 +645,7 @@ pub fn validate_report(text: &str) -> Result<(), String> {
         "faulted_run",
         "queue_churn",
         "cube_pdes_events",
+        "cube_pdes_events_parallel",
     ] {
         match medians.iter().find(|(n, _)| n == required) {
             None => return Err(format!("missing kernel {required}")),
@@ -688,21 +720,23 @@ mod tests {
         };
         let (results, failures) = run_all(&cfg);
         assert!(failures.is_empty(), "{failures:?}");
-        assert_eq!(results.len(), 5);
+        assert_eq!(results.len(), 6);
         let json = render_json(&cfg, &results, None);
         validate_report(&json).unwrap();
         let medians = extract_kernel_medians(&json);
-        assert_eq!(medians.len(), 5);
+        assert_eq!(medians.len(), 6);
         assert_eq!(medians[0].0, "machine_1k_transactions");
         assert_eq!(medians[0].1, results[0].median_ns);
         let stats = extract_kernel_stats(&json);
-        assert_eq!(stats.len(), 5);
+        assert_eq!(stats.len(), 6);
         // The guard kernels run their full workloads even in quick mode,
         // so CI guard comparisons are like-for-like.
         assert_eq!(stats[0].work_units, 1_000);
         assert_eq!(stats[3].name, "queue_churn");
         assert_eq!(stats[4].name, "cube_pdes_events");
         assert_eq!(stats[4].work_units, CUBE_PDES_EVENTS);
+        assert_eq!(stats[5].name, "cube_pdes_events_parallel");
+        assert_eq!(stats[5].work_units, CUBE_PDES_EVENTS);
         assert!(json.contains("\"p90_ns\""));
         assert!(json.contains("\"outliers\""));
     }
@@ -721,8 +755,11 @@ mod tests {
     fn cube_kernel_work_units_match_its_deterministic_delivery() {
         // The cube run is fully deterministic, so the kernel's work-unit
         // count can be pinned: a drift here means the PDES schedule (and
-        // therefore every committed fingerprint) changed.
+        // therefore every committed fingerprint) changed. The parallel
+        // kernel delivers the identical count — execution strategy never
+        // changes what is simulated.
         assert_eq!(kernel_cube_pdes(true), CUBE_PDES_EVENTS);
+        assert_eq!(kernel_cube_pdes_parallel(true), CUBE_PDES_EVENTS);
     }
 
     #[test]

@@ -13,8 +13,9 @@
 //! study shares no RNG stream with the figure sweeps even at the default
 //! base seed.
 
-use multicube::pdes::{run_cube, CubeConfig};
+use multicube::pdes::{run_cube, CubeConfig, CubeShards};
 use multicube::{Machine, MachineConfig, SyntheticSpec};
+use multicube_sim::pdes::ExecutorKind;
 use multicube_sim::pool::Pool;
 use multicube_sim::{split_seed, stream_id};
 use std::fmt::Write as _;
@@ -23,8 +24,12 @@ use std::time::Instant;
 use crate::simfig::PointFailure;
 
 /// Identifies the JSON layout; bump when the schema changes shape.
-/// v2 added the `cube` section (the parallel-DES n³ scaling study).
-pub const SCALING_SCHEMA: &str = "multicube-bench-scaling/v2";
+/// v2 added the `cube` section (the parallel-DES n³ scaling study); v3
+/// moved the scheduler's round/message counts out of the deterministic
+/// point block (they depend on the shard granularity) and into per-leg
+/// full-mode timing records that also carry window and work-stealing
+/// telemetry.
+pub const SCALING_SCHEMA: &str = "multicube-bench-scaling/v3";
 
 /// The harness namespace folded into every point seed.
 const NAMESPACE: &str = "scaling";
@@ -184,6 +189,17 @@ pub struct CubeStudyConfig {
     pub seed: u64,
     /// Worker threads for the parallel execution leg.
     pub workers: usize,
+    /// Shard granularity of the quick-mode execution (and the warmup
+    /// reference). The measured full-mode legs sweep both granularities
+    /// regardless; this knob exists so the CI determinism job can rerun
+    /// the quick study under `MULTICUBE_PDES_SHARDS` and byte-diff the
+    /// artifact — execution strategy must never leak into it.
+    pub shards: CubeShards,
+    /// Round executor of the quick-mode execution (same contract:
+    /// `MULTICUBE_PDES_EXECUTOR` reruns must be byte-identical).
+    pub executor: ExecutorKind,
+    /// Adaptive conservative window for the quick-mode execution.
+    pub adaptive_window: bool,
     /// Measure wall-clock serial-vs-parallel timing. Off in quick mode so
     /// the JSON carries only deterministic fields and stays byte-identical
     /// across worker counts for the CI determinism diff; the fingerprint
@@ -202,6 +218,9 @@ impl CubeStudyConfig {
             remote_gap_ns: 250.0,
             seed: 0x5EED,
             workers,
+            shards: CubeShards::Plane,
+            executor: ExecutorKind::TwoBarrier,
+            adaptive_window: false,
             measure: true,
         }
     }
@@ -215,6 +234,9 @@ impl CubeStudyConfig {
             remote_gap_ns: 200.0,
             seed: 0x5EED,
             workers,
+            shards: CubeShards::Plane,
+            executor: ExecutorKind::TwoBarrier,
+            adaptive_window: false,
             measure: false,
         }
     }
@@ -226,38 +248,93 @@ impl CubeStudyConfig {
         cfg.remote_gap_ns = self.remote_gap_ns;
         cfg.seed = split_seed(self.seed, stream_id(NAMESPACE, "cube"), u64::from(side));
         cfg.workers = workers;
+        cfg.shards = self.shards;
+        cfg.executor = self.executor;
+        cfg.adaptive_window = self.adaptive_window;
         // The per-plane coherence checker is O(lines × nodes) per plane and
         // orthogonal to what this study measures; the quick study keeps it
         // on as a smoke check, the big full-mode cubes turn it off.
         cfg.check = !self.measure;
         cfg
     }
+
+    /// One full-mode timed leg's configuration.
+    fn leg_config(
+        &self,
+        side: u32,
+        workers: usize,
+        shards: CubeShards,
+        executor: ExecutorKind,
+        adaptive_window: bool,
+    ) -> CubeConfig {
+        let mut cfg = self.cube_config(side, workers);
+        cfg.shards = shards;
+        cfg.executor = executor;
+        cfg.adaptive_window = adaptive_window;
+        cfg
+    }
 }
 
-/// Wall-clock comparison of the serial and parallel executions of one cube
-/// point. Full mode only: wall time is host-dependent by nature, so these
-/// fields never appear in the deterministic quick artifact.
+/// One timed full-mode execution leg of a cube point: a (granularity,
+/// executor, window) combination run at `workers` threads, with the
+/// scheduler's telemetry for that combination. Wall time is
+/// host-dependent by nature, so legs never appear in the deterministic
+/// quick artifact; every leg's fingerprint is asserted equal to the
+/// serial reference before it is recorded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CubeLeg {
+    /// Shard granularity of this leg.
+    pub shards: CubeShards,
+    /// Round executor of this leg.
+    pub executor: ExecutorKind,
+    /// Whether the adaptive conservative window was on.
+    pub adaptive_window: bool,
+    /// Worker threads.
+    pub workers: usize,
+    /// Wall time, milliseconds.
+    pub wall_ms: f64,
+    /// Serial reference wall time / this leg's wall time.
+    pub speedup: f64,
+    /// Machine events per second through this leg.
+    pub events_per_sec: f64,
+    /// Conservative-scheduler rounds (deterministic per granularity and
+    /// window policy).
+    pub rounds: u64,
+    /// Cross-shard messages routed (deterministic per granularity).
+    pub messages: u64,
+    /// Smallest adaptive window width used (ns; 0 when unbounded).
+    pub window_min_ns: u64,
+    /// Median adaptive window width (ns; 0 when unbounded).
+    pub window_median_ns: u64,
+    /// Largest adaptive window width (ns; 0 when unbounded).
+    pub window_max_ns: u64,
+    /// Successful steals (work-stealing executor only).
+    pub steals: u64,
+    /// Steal probes, successful or not.
+    pub steal_attempts: u64,
+    /// Total worker idle time inside rounds, nanoseconds.
+    pub idle_ns: u64,
+}
+
+/// Wall-clock measurements of one cube point. Full mode only.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CubeTiming {
-    /// Worker threads the parallel leg ran with.
-    pub workers: usize,
     /// Host threads available (`std::thread::available_parallelism`) —
-    /// context for reading the speedup: a 1-thread host cannot show one.
+    /// context for reading the speedups: a 1-thread host cannot show one.
     pub host_parallelism: usize,
-    /// Serial (1-worker) wall time, milliseconds.
+    /// Serial (1-worker, plane-sharded, unbounded) wall time, ms.
     pub serial_ms: f64,
-    /// Parallel wall time, milliseconds.
-    pub parallel_ms: f64,
-    /// `serial_ms / parallel_ms`.
-    pub speedup: f64,
     /// Machine events per second, serial execution.
     pub events_per_sec_serial: f64,
-    /// Machine events per second, parallel execution.
-    pub events_per_sec_parallel: f64,
+    /// The timed parallel legs, in sweep order.
+    pub legs: Vec<CubeLeg>,
 }
 
 /// One measured cube of the parallel-DES study. All fields except
-/// `timing` are deterministic functions of the configuration.
+/// `timing` are deterministic functions of the configuration — and
+/// independent of the shard granularity, executor, window policy, and
+/// worker count, which is what lets CI byte-diff the quick artifact
+/// across execution strategies.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CubePoint {
     /// Cube side.
@@ -270,10 +347,6 @@ pub struct CubePoint {
     pub remote_ops: u64,
     /// Machine events delivered across all planes.
     pub events: u64,
-    /// Conservative-scheduler rounds.
-    pub rounds: u64,
-    /// Cross-shard messages routed.
-    pub messages: u64,
     /// Mean plane efficiency.
     pub mean_efficiency: f64,
     /// The run's fingerprint (also asserted equal between the serial and
@@ -292,21 +365,34 @@ pub struct CubeStudy {
     pub points: Vec<CubePoint>,
 }
 
+/// The (granularity, executor, window) combinations the full study times
+/// per cube: the PR 8 plane/two-barrier cut as the comparison baseline,
+/// then the two-level column decomposition under the adaptive window with
+/// each executor.
+const FULL_LEGS: [(CubeShards, ExecutorKind, bool); 3] = [
+    (CubeShards::Plane, ExecutorKind::TwoBarrier, false),
+    (CubeShards::Column, ExecutorKind::TwoBarrier, true),
+    (CubeShards::Column, ExecutorKind::WorkStealing, true),
+];
+
 /// Runs the cube study. The scheduler parallelizes internally (across
-/// plane shards), so points run one at a time rather than on the pool —
-/// timing legs must not compete with sibling points for cores.
+/// shards), so points run one at a time rather than on the pool — timing
+/// legs must not compete with sibling points for cores.
 ///
-/// Every point executes serially first (the reference), then — when
-/// `config.workers > 1` or `config.measure` is set — in parallel, and the
-/// two fingerprints are asserted identical before the point is recorded:
-/// the committed artifact is itself a determinism proof.
+/// Every point executes serially first (the reference). Quick mode then
+/// reruns it at the configured worker count; full mode additionally runs
+/// a serial pass at the *other* granularity and then every [`FULL_LEGS`]
+/// combination, timed. Every rerun's fingerprint is asserted identical to
+/// the reference before the point is recorded: the committed artifact is
+/// itself a determinism proof across worker counts, granularities,
+/// executors, and window policies.
 pub fn run_cube_study(config: &CubeStudyConfig) -> CubeStudy {
     let points = config
         .sides
         .iter()
         .map(|&side| {
             // The first run doubles as the warmup: it faults in the
-            // point's working set, so the timed legs below both start
+            // point's working set, so the timed legs below all start
             // with a warm allocator instead of the first-comer paying
             // the cold-page cost (which biased whichever leg ran first
             // by up to 3x before the warmup was split out).
@@ -315,28 +401,71 @@ pub fn run_cube_study(config: &CubeStudyConfig) -> CubeStudy {
 
             let workers = config.workers.max(if config.measure { 2 } else { 1 });
             let timing = if config.measure {
+                // The cross-granularity differential, serial: the other
+                // shard decomposition must replay the same bytes.
+                let other_shards = match config.shards {
+                    CubeShards::Plane => CubeShards::Column,
+                    CubeShards::Column => CubeShards::Plane,
+                };
+                let cross = run_cube(&config.leg_config(
+                    side,
+                    1,
+                    other_shards,
+                    config.executor,
+                    config.adaptive_window,
+                ));
+                assert_eq!(
+                    cross.fingerprint(),
+                    fingerprint,
+                    "cube side {side} diverged between granularities"
+                );
+
                 let start = Instant::now();
                 let serial_timed = run_cube(&config.cube_config(side, 1));
                 let serial_ms = start.elapsed().as_secs_f64() * 1e3;
                 assert_eq!(serial_timed.fingerprint(), fingerprint);
-                let start = Instant::now();
-                let parallel = run_cube(&config.cube_config(side, workers));
-                let parallel_ms = start.elapsed().as_secs_f64() * 1e3;
-                assert_eq!(
-                    parallel.fingerprint(),
-                    fingerprint,
-                    "cube side {side} diverged between 1 and {workers} workers"
-                );
+
+                let legs = FULL_LEGS
+                    .iter()
+                    .map(|&(shards, executor, adaptive_window)| {
+                        let cfg =
+                            config.leg_config(side, workers, shards, executor, adaptive_window);
+                        let start = Instant::now();
+                        let report = run_cube(&cfg);
+                        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                        assert_eq!(
+                            report.fingerprint(),
+                            fingerprint,
+                            "cube side {side} diverged on the {}/{} leg",
+                            shards.name(),
+                            executor.name()
+                        );
+                        CubeLeg {
+                            shards,
+                            executor,
+                            adaptive_window,
+                            workers,
+                            wall_ms,
+                            speedup: serial_ms / wall_ms.max(f64::MIN_POSITIVE),
+                            events_per_sec: report.events_delivered as f64 / (wall_ms / 1e3),
+                            rounds: report.pdes.rounds,
+                            messages: report.pdes.messages,
+                            window_min_ns: report.pdes.window.min_ns,
+                            window_median_ns: report.pdes.window.median_ns,
+                            window_max_ns: report.pdes.window.max_ns,
+                            steals: report.pdes.exec.steals,
+                            steal_attempts: report.pdes.exec.steal_attempts,
+                            idle_ns: report.pdes.exec.idle_ns,
+                        }
+                    })
+                    .collect();
                 Some(CubeTiming {
-                    workers,
                     host_parallelism: std::thread::available_parallelism()
                         .map(std::num::NonZero::get)
                         .unwrap_or(1),
                     serial_ms,
-                    parallel_ms,
-                    speedup: serial_ms / parallel_ms.max(f64::MIN_POSITIVE),
                     events_per_sec_serial: serial.events_delivered as f64 / (serial_ms / 1e3),
-                    events_per_sec_parallel: parallel.events_delivered as f64 / (parallel_ms / 1e3),
+                    legs,
                 })
             } else {
                 if workers > 1 {
@@ -364,8 +493,6 @@ pub fn run_cube_study(config: &CubeStudyConfig) -> CubeStudy {
                 transactions,
                 remote_ops,
                 events: serial.events_delivered,
-                rounds: serial.pdes.rounds,
-                messages: serial.pdes.messages,
                 mean_efficiency,
                 fingerprint,
                 timing,
@@ -394,20 +521,18 @@ pub fn render_cube_study(study: &CubeStudy) -> String {
     );
     let _ = writeln!(
         out,
-        "{:>4} {:>7} {:>8} {:>7} {:>9} {:>7} {:>8} {:>8}  fingerprint",
-        "n", "procs", "txns", "remote", "events", "rounds", "msgs", "eff"
+        "{:>4} {:>7} {:>8} {:>7} {:>9} {:>8}  fingerprint",
+        "n", "procs", "txns", "remote", "events", "eff"
     );
     for p in &study.points {
         let _ = writeln!(
             out,
-            "{:>4} {:>7} {:>8} {:>7} {:>9} {:>7} {:>8} {:>8.4}  {}",
+            "{:>4} {:>7} {:>8} {:>7} {:>9} {:>8.4}  {}",
             p.side,
             p.processors,
             p.transactions,
             p.remote_ops,
             p.events,
-            p.rounds,
-            p.messages,
             p.mean_efficiency,
             p.fingerprint
         );
@@ -415,22 +540,70 @@ pub fn render_cube_study(study: &CubeStudy) -> String {
     if study.points.iter().any(|p| p.timing.is_some()) {
         let _ = writeln!(
             out,
-            "{:>4} {:>8} {:>12} {:>12} {:>8} {:>14} {:>14}",
-            "n", "workers", "serial ms", "parallel ms", "speedup", "ev/s serial", "ev/s parallel"
+            "{:>4} {:>7} {:>13} {:>7} {:>10} {:>8} {:>12}",
+            "n", "shards", "executor", "window", "wall ms", "speedup", "ev/s"
         );
         for p in &study.points {
             if let Some(t) = &p.timing {
                 let _ = writeln!(
                     out,
-                    "{:>4} {:>8} {:>12.1} {:>12.1} {:>8.2} {:>14.0} {:>14.0}",
+                    "{:>4} {:>7} {:>13} {:>7} {:>10.1} {:>8} {:>12.0}  (host threads: {})",
                     p.side,
-                    t.workers,
+                    "plane",
+                    "serial",
+                    "-",
                     t.serial_ms,
-                    t.parallel_ms,
-                    t.speedup,
+                    "1.00",
                     t.events_per_sec_serial,
-                    t.events_per_sec_parallel
+                    t.host_parallelism
                 );
+                for leg in &t.legs {
+                    let _ = writeln!(
+                        out,
+                        "{:>4} {:>7} {:>13} {:>7} {:>10.1} {:>8.2} {:>12.0}",
+                        p.side,
+                        leg.shards.name(),
+                        leg.executor.name(),
+                        if leg.adaptive_window { "adapt" } else { "full" },
+                        leg.wall_ms,
+                        leg.speedup,
+                        leg.events_per_sec
+                    );
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{:>4} {:>7} {:>13} {:>8} {:>9} {:>17} {:>8} {:>9} {:>10}",
+            "n",
+            "shards",
+            "executor",
+            "rounds",
+            "msgs",
+            "window min/med/max",
+            "steals",
+            "probes",
+            "idle ms"
+        );
+        for p in &study.points {
+            if let Some(t) = &p.timing {
+                for leg in &t.legs {
+                    let _ = writeln!(
+                        out,
+                        "{:>4} {:>7} {:>13} {:>8} {:>9} {:>5}/{:>5}/{:>5} {:>8} {:>9} {:>10.1}",
+                        p.side,
+                        leg.shards.name(),
+                        leg.executor.name(),
+                        leg.rounds,
+                        leg.messages,
+                        leg.window_min_ns,
+                        leg.window_median_ns,
+                        leg.window_max_ns,
+                        leg.steals,
+                        leg.steal_attempts,
+                        leg.idle_ns as f64 / 1e6
+                    );
+                }
             }
         }
     }
@@ -544,8 +717,6 @@ pub fn render_scaling_json(study: &ScalingStudy, cube: Option<&CubeStudy>) -> St
             let _ = writeln!(out, "        \"transactions\": {},", p.transactions);
             let _ = writeln!(out, "        \"remote_ops\": {},", p.remote_ops);
             let _ = writeln!(out, "        \"events\": {},", p.events);
-            let _ = writeln!(out, "        \"rounds\": {},", p.rounds);
-            let _ = writeln!(out, "        \"messages\": {},", p.messages);
             let _ = writeln!(
                 out,
                 "        \"mean_efficiency\": {:.6},",
@@ -553,21 +724,58 @@ pub fn render_scaling_json(study: &ScalingStudy, cube: Option<&CubeStudy>) -> St
             );
             if let Some(t) = &p.timing {
                 let _ = writeln!(out, "        \"fingerprint\": \"{}\",", p.fingerprint);
-                let _ = writeln!(out, "        \"workers\": {},", t.workers);
                 let _ = writeln!(out, "        \"host_parallelism\": {},", t.host_parallelism);
                 let _ = writeln!(out, "        \"serial_ms\": {:.3},", t.serial_ms);
-                let _ = writeln!(out, "        \"parallel_ms\": {:.3},", t.parallel_ms);
-                let _ = writeln!(out, "        \"speedup\": {:.4},", t.speedup);
                 let _ = writeln!(
                     out,
                     "        \"events_per_sec_serial\": {:.0},",
                     t.events_per_sec_serial
                 );
-                let _ = writeln!(
-                    out,
-                    "        \"events_per_sec_parallel\": {:.0}",
-                    t.events_per_sec_parallel
-                );
+                out.push_str("        \"legs\": [\n");
+                for (j, leg) in t.legs.iter().enumerate() {
+                    out.push_str("          {\n");
+                    let _ = writeln!(out, "            \"shards\": \"{}\",", leg.shards.name());
+                    let _ = writeln!(
+                        out,
+                        "            \"executor\": \"{}\",",
+                        leg.executor.name()
+                    );
+                    let _ = writeln!(
+                        out,
+                        "            \"adaptive_window\": {},",
+                        leg.adaptive_window
+                    );
+                    let _ = writeln!(out, "            \"workers\": {},", leg.workers);
+                    let _ = writeln!(out, "            \"wall_ms\": {:.3},", leg.wall_ms);
+                    let _ = writeln!(out, "            \"speedup\": {:.4},", leg.speedup);
+                    let _ = writeln!(
+                        out,
+                        "            \"events_per_sec\": {:.0},",
+                        leg.events_per_sec
+                    );
+                    let _ = writeln!(out, "            \"rounds\": {},", leg.rounds);
+                    let _ = writeln!(out, "            \"messages\": {},", leg.messages);
+                    let _ = writeln!(out, "            \"window_min_ns\": {},", leg.window_min_ns);
+                    let _ = writeln!(
+                        out,
+                        "            \"window_median_ns\": {},",
+                        leg.window_median_ns
+                    );
+                    let _ = writeln!(out, "            \"window_max_ns\": {},", leg.window_max_ns);
+                    let _ = writeln!(out, "            \"steals\": {},", leg.steals);
+                    let _ = writeln!(
+                        out,
+                        "            \"steal_attempts\": {},",
+                        leg.steal_attempts
+                    );
+                    let _ = writeln!(out, "            \"idle_ns\": {}", leg.idle_ns);
+                    out.push_str(if j + 1 == t.legs.len() {
+                        "          }\n"
+                    } else {
+                        "          },\n"
+                    });
+                }
+                out.push_str("        ]\n");
             } else {
                 let _ = writeln!(out, "        \"fingerprint\": \"{}\"", p.fingerprint);
             }
@@ -625,6 +833,19 @@ pub fn validate_scaling_report(
             if !text.contains(&format!("\"side\": {side},")) {
                 return Err(format!("missing cube side {side}"));
             }
+        }
+        if cube.measure {
+            let legs = text.matches("\"legs\":").count();
+            if legs != expected {
+                return Err(format!(
+                    "expected {expected} timed-leg blocks, found {legs}"
+                ));
+            }
+            if !text.contains("\"host_parallelism\":") {
+                return Err("measured cube study must record host_parallelism".to_string());
+            }
+        } else if text.contains("\"legs\":") {
+            return Err("quick cube study must not record timed legs".to_string());
         }
     } else if text.contains("\"cube\":") {
         return Err("unexpected cube section".to_string());
@@ -703,6 +924,9 @@ mod tests {
             remote_gap_ns: 150.0,
             seed: 7,
             workers: 2,
+            shards: CubeShards::Plane,
+            executor: ExecutorKind::TwoBarrier,
+            adaptive_window: false,
             measure: false,
         }
     }
@@ -716,7 +940,7 @@ mod tests {
             assert_eq!(p.processors, side.pow(3));
             assert_eq!(p.transactions, side.pow(3) * 2);
             assert_eq!(p.remote_ops, side * 8);
-            assert!(p.events > 0 && p.rounds > 0);
+            assert!(p.events > 0);
             assert!(p.mean_efficiency > 0.0 && p.mean_efficiency <= 1.0);
             assert!(p.timing.is_none(), "quick studies must not record timing");
         }
@@ -725,7 +949,7 @@ mod tests {
     }
 
     #[test]
-    fn cube_json_is_worker_invariant_and_validates() {
+    fn cube_json_is_execution_strategy_invariant_and_validates() {
         let cfg = tiny();
         let study = run_scaling_study(&Pool::serial(), &cfg);
         let cube_cfg = tiny_cube();
@@ -735,11 +959,18 @@ mod tests {
         // The cube section must not leak wall-clock bytes in quick mode...
         assert!(!json.contains("\"serial_ms\""));
         assert!(!json.contains("\"workers\""));
-        // ...and must render byte-identically at a different worker count.
+        assert!(!json.contains("\"legs\""));
+        // ...and must render byte-identically at a different worker count
+        // and under the other granularity/executor/window — the in-process
+        // version of the CI byte-diff across MULTICUBE_PDES_SHARDS and
+        // MULTICUBE_PDES_EXECUTOR.
         let mut other = tiny_cube();
         other.workers = 4;
-        let json4 = render_scaling_json(&study, Some(&run_cube_study(&other)));
-        assert_eq!(json, json4);
+        other.shards = CubeShards::Column;
+        other.executor = ExecutorKind::WorkStealing;
+        other.adaptive_window = true;
+        let json_other = render_scaling_json(&study, Some(&run_cube_study(&other)));
+        assert_eq!(json, json_other);
         // A cube-less report no longer validates against a cube config.
         let plain = render_scaling_json(&study, None);
         assert!(validate_scaling_report(&plain, &cfg, Some(&cube_cfg)).is_err());
@@ -747,19 +978,39 @@ mod tests {
     }
 
     #[test]
-    fn measured_cube_study_embeds_timing_and_speedup() {
+    fn measured_cube_study_embeds_timing_legs_and_telemetry() {
         let mut cfg = tiny_cube();
         cfg.sides = vec![2];
         cfg.measure = true;
         let cube = run_cube_study(&cfg);
         let t = cube.points[0].timing.as_ref().expect("timing recorded");
-        assert_eq!(t.workers, 2);
-        assert!(t.serial_ms > 0.0 && t.parallel_ms > 0.0);
-        assert!(t.speedup > 0.0);
-        assert!(t.events_per_sec_serial > 0.0);
+        assert!(t.serial_ms > 0.0 && t.events_per_sec_serial > 0.0);
+        assert_eq!(t.legs.len(), 3);
+        for leg in &t.legs {
+            assert_eq!(leg.workers, 2);
+            assert!(leg.wall_ms > 0.0 && leg.speedup > 0.0);
+            assert!(leg.rounds > 0 && leg.messages > 0);
+        }
+        // The plane/two-barrier baseline leg runs unbounded: no window
+        // telemetry; the adaptive legs must report widths at or above the
+        // lookahead floor.
+        assert_eq!(t.legs[0].window_median_ns, 0);
+        for leg in &t.legs[1..] {
+            assert!(leg.adaptive_window);
+            assert!(leg.window_min_ns >= 10);
+            assert!(leg.window_min_ns <= leg.window_median_ns);
+            assert!(leg.window_median_ns <= leg.window_max_ns);
+        }
+        // The column decomposition has more shards, so more rounds/msgs.
+        assert!(t.legs[1].rounds >= t.legs[0].rounds);
         let json = render_scaling_json(&run_scaling_study(&Pool::serial(), &tiny()), Some(&cube));
         assert!(json.contains("\"speedup\""));
         assert!(json.contains("\"host_parallelism\""));
+        assert!(json.contains("\"legs\""));
+        assert!(json.contains("\"window_median_ns\""));
+        assert!(json.contains("\"steal_attempts\""));
+        assert!(json.contains("\"executor\": \"work-stealing\""));
+        validate_scaling_report(&json, &tiny(), Some(&cfg)).unwrap();
     }
 
     #[test]

@@ -181,6 +181,62 @@ fn cube_traces_are_byte_identical_across_worker_counts_and_engines() {
     }
 }
 
+/// The two-level differential, artifact level: the column-bus shard
+/// decomposition, the work-stealing executor, and the adaptive window —
+/// in every combination — must reproduce the plane-sharded two-barrier
+/// reference byte for byte, per-plane machine traces included. This is
+/// the in-process twin of the CI byte-diff across
+/// `MULTICUBE_PDES_SHARDS` / `MULTICUBE_PDES_EXECUTOR`.
+#[test]
+fn cube_traces_are_byte_identical_across_granularities_and_executors() {
+    use multicube::pdes::CubeShards;
+    use multicube_sim::pdes::ExecutorKind;
+    let cube_cfg = |shards, executor, adaptive_window, workers| {
+        let mut cfg = multicube::pdes::CubeConfig::new(3);
+        cfg.txns_per_node = 4;
+        cfg.remote_ops = 16;
+        cfg.remote_gap_ns = 200.0;
+        cfg.seed = 0xBE7C;
+        cfg.shards = shards;
+        cfg.executor = executor;
+        cfg.adaptive_window = adaptive_window;
+        cfg.workers = workers;
+        cfg.capture_trace = true;
+        cfg
+    };
+    let reference = multicube::pdes::run_cube(&cube_cfg(
+        CubeShards::Plane,
+        ExecutorKind::TwoBarrier,
+        false,
+        1,
+    ));
+    let ref_traces: Vec<Option<String>> = reference
+        .planes
+        .iter()
+        .map(|p| p.trace_md5.clone())
+        .collect();
+    for shards in [CubeShards::Plane, CubeShards::Column] {
+        for executor in [ExecutorKind::TwoBarrier, ExecutorKind::WorkStealing] {
+            for adaptive in [false, true] {
+                for workers in [1usize, 2, Pool::from_env().workers().max(2)] {
+                    let report =
+                        multicube::pdes::run_cube(&cube_cfg(shards, executor, adaptive, workers));
+                    let traces: Vec<Option<String>> =
+                        report.planes.iter().map(|p| p.trace_md5.clone()).collect();
+                    let label =
+                        format!("{shards:?}/{executor:?}/adaptive={adaptive}/workers={workers}");
+                    assert_eq!(traces, ref_traces, "{label}: plane traces diverged");
+                    assert_eq!(
+                        report.fingerprint(),
+                        reference.fingerprint(),
+                        "{label}: fingerprint diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// The seed-correlation fix, observed end to end: at the seed level every
 /// series used to replay `sweep.seed + i`; now the n=4 and n=8 curves of
 /// the same quick sweep are measured from disjoint RNG streams, so their

@@ -1,5 +1,5 @@
 //! The three-dimensional Multicube as a conservatively parallel
-//! simulation, sharded by plane.
+//! simulation, sharded by plane or by column-bus domain.
 //!
 //! Section 6 of the paper generalizes the Wisconsin Multicube to `n^k`
 //! processors; the `k = 3` instance is a cube of `n` *planes*, each an
@@ -7,34 +7,50 @@
 //! buses connecting each processor to its images in every other plane.
 //! This module simulates that machine at scale by giving every plane its
 //! own full [`Machine`] — the complete Appendix A protocol, its own event
-//! wheel, its own deterministic RNG stream — and running the planes as
+//! wheel, its own deterministic RNG stream — and running the cube as
 //! shards of a conservative parallel DES ([`multicube_sim::pdes`]).
 //!
-//! Cross-plane traffic models the §4 uncached-remote access pattern: each
-//! plane issues an open-loop stream of remote operations (uncached READs
-//! of a home plane's committed line version, and TEST-AND-SET / CLEAR on
-//! a memory-side synchronization word) over the depth buses. A depth-bus
-//! hop takes [`HOP_NS`]; the home plane services requests through a FIFO
-//! depth port at [`SERVICE_NS`] each and sends the reply back over the
-//! bus. The hop latency is the *lookahead* that makes conservative
-//! synchronization work: no plane can affect another in less than
-//! `HOP_NS`, so a plane may safely run that far past its neighbours'
-//! bounds.
+//! Two shard granularities share one traffic model
+//! ([`CubeShards`], the two levels of [`multicube_topology::TwoLevelMap`]):
 //!
-//! Determinism: every plane's machine seed and depth-traffic RNG stream
-//! derive from the cube seed by [`split_seed`], the scheduler delivers
-//! cross-plane messages in `(time, source plane, sequence)` order, and
-//! the plane-vs-depth tie-break inside a shard is fixed (depth events
-//! first at equal instants). A cube run is therefore byte-identical — per
-//! -plane machine traces included — at *any* worker count, which
+//! * **Plane** — `n` shards, one full plane each (the PR 8 cut). Only the
+//!   depth buses cross shards.
+//! * **Column** — `n^2` shards, one *column-bus domain* per shard. In the
+//!   paper, memory modules attach to the column buses (§2), so every
+//!   remote-accessible word has a home column; both the depth hop *and*
+//!   the intra-plane grid-bus hops then cross shards, and the lookahead is
+//!   one grid-bus transfer ([`GRID_HOP_NS`]).
+//!
+//! Cross-plane traffic models the §4 uncached-remote access pattern as a
+//! four-hop pipeline through per-column [`ColumnCell`]s: a requester
+//! column issues over its depth bus to the home plane ([`HOP_NS`]), the
+//! request transits the home plane's row bus to the line's home column
+//! ([`GRID_HOP_NS`]) unless it already landed there, the column's FIFO
+//! memory port services it at [`SERVICE_NS`], and the reply retraces the
+//! path. TEST-AND-SET / CLEAR operate on the home column's memory word
+//! (lock bit plus a release epoch in the upper bits), READ returns it
+//! uncached — all state lives in the column cell, so the per-cell event
+//! stream is independent of how cells are grouped into shards.
+//!
+//! Determinism: every machine seed and per-column traffic stream derives
+//! from the cube seed by [`split_seed`], the scheduler delivers
+//! cross-shard messages in `(time, source shard, sequence)` order, and
+//! every cell keys same-instant events on the *operation's identity*
+//! `(origin plane, origin column, op sequence)` — never on insertion
+//! order — so regrouping deliveries across rounds (different granularity,
+//! adaptive windows, any worker count) cannot reorder them. A cube run is
+//! therefore byte-identical — per-plane machine traces included — across
+//! shard granularity, executor, window policy, and worker count, which
 //! `crates/core/tests/pdes_determinism.rs` pins.
 
 use std::io::Write;
 use std::sync::{Arc, Mutex};
 
-use multicube_mem::LineAddr;
-use multicube_sim::pdes::{self, Arrival, Outbox, PdesConfig, PdesStats, ShardModel};
+use multicube_sim::pdes::{
+    self, Arrival, ExecutorKind, Outbox, PdesConfig, PdesStats, ShardModel, WindowPolicy,
+};
 use multicube_sim::{split_seed, stream_id, DeterministicRng, FxHashMap, SimDuration, SimTime};
+use multicube_topology::{Multicube, TwoLevelMap};
 
 use crate::config::{EngineKind, MachineConfig};
 use crate::driver::SyntheticSpec;
@@ -42,22 +58,72 @@ use crate::machine::Machine;
 use crate::metrics::RunReport;
 use crate::trace::{TraceFormat, TraceSink};
 
-/// One depth-bus hop: the minimum cross-plane latency, and therefore the
-/// conservative lookahead.
+/// One depth-bus hop: the minimum cross-plane latency.
 pub const HOP_NS: u64 = 10;
 
-/// Fixed service time of the depth port at the home plane (one uncached
-/// memory-side access, no cache fill).
+/// One intra-plane grid-bus hop: the minimum cross-column latency, and
+/// therefore the conservative lookahead at column granularity.
+pub const GRID_HOP_NS: u64 = 10;
+
+/// Fixed service time of a column's memory port (one uncached memory-side
+/// access, no cache fill).
 pub const SERVICE_NS: u64 = 120;
+
+/// Shard granularity of a cube run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CubeShards {
+    /// One shard per plane: `n` shards, depth buses cross shards.
+    #[default]
+    Plane,
+    /// One shard per column-bus domain: `n^2` shards, depth *and* grid
+    /// buses cross shards.
+    Column,
+}
+
+/// Environment override selecting the shard granularity.
+pub const SHARDS_ENV: &str = "MULTICUBE_PDES_SHARDS";
+
+impl CubeShards {
+    /// Parses an override value: `None` means "not set", anything else
+    /// must be exactly `plane` or `column` (whitespace trimmed).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any other value — same loud contract as
+    /// `MULTICUBE_POOL_WORKERS`: a typo must not silently fall back to
+    /// the default granularity.
+    pub fn from_override(raw: Option<&str>) -> Option<Self> {
+        let raw = raw?;
+        match raw.trim() {
+            "plane" => Some(CubeShards::Plane),
+            "column" => Some(CubeShards::Column),
+            bad => panic!("{SHARDS_ENV} must be \"plane\" or \"column\", got {bad:?}"),
+        }
+    }
+
+    /// Reads [`SHARDS_ENV`], with [`Self::from_override`]'s contract.
+    pub fn from_env() -> Option<Self> {
+        let raw = std::env::var(SHARDS_ENV).ok();
+        Self::from_override(raw.as_deref())
+    }
+
+    /// The override spelling, for reports and artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            CubeShards::Plane => "plane",
+            CubeShards::Column => "column",
+        }
+    }
+}
 
 /// A remote (cross-plane) operation kind — the §4 uncached accesses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RemoteKind {
-    /// Uncached read of the home plane's committed line version.
+    /// Uncached read of the home column's memory word.
     Read,
-    /// Test-and-set on a memory-side synchronization word.
+    /// Test-and-set on the word's lock bit.
     TestAndSet,
-    /// Clear (release) of a synchronization word.
+    /// Clear (release) of the lock bit, bumping the release epoch.
     Clear,
 }
 
@@ -71,47 +137,89 @@ impl RemoteKind {
     }
 }
 
-/// A message on a depth bus.
+/// A message on a depth or grid bus. Every variant carries the issuing
+/// operation's full identity `(origin_plane, origin_col, op_seq)`: the
+/// receiving cell keys the induced event on it, which is what makes the
+/// event order content-addressed and granularity-invariant.
 #[derive(Debug, Clone, Copy)]
 pub enum DepthMsg {
-    /// A remote operation heading to its home plane.
+    /// A remote op crossing the depth bus to its home plane (lands at the
+    /// origin's column image there).
     Request {
-        origin: usize,
+        origin_plane: u32,
+        origin_col: u32,
         op_seq: u64,
         line: u64,
         kind: RemoteKind,
     },
-    /// The home plane's answer: the value read (line version or previous
-    /// sync-word contents) and whether a TEST-AND-SET won.
+    /// The op transiting the home plane's row bus to the line's home
+    /// column.
+    RequestTransit {
+        origin_plane: u32,
+        origin_col: u32,
+        op_seq: u64,
+        line: u64,
+        kind: RemoteKind,
+    },
+    /// The reply transiting the home plane's row bus back to the origin
+    /// column's image.
+    ReplyTransit {
+        origin_plane: u32,
+        origin_col: u32,
+        op_seq: u64,
+        value: u64,
+        success: bool,
+    },
+    /// The reply crossing the depth bus back to the origin.
     Reply {
+        origin_col: u32,
         op_seq: u64,
         value: u64,
         success: bool,
     },
 }
 
-/// Internal depth-port events of one plane, ordered by `(time, class,
-/// seq)` — class keeps the intra-instant order fixed and documented:
-/// arrivals service before issues at the same instant.
+/// Internal events of one column cell, ordered by `(time, class, op key)`
+/// — the class keeps arrivals ahead of issues at equal instants, and the
+/// op key (the operation's identity) fixes same-instant order by content.
 #[derive(Debug, Clone, Copy)]
-enum DepthEv {
+enum CellEv {
     /// The open-loop generator fires: issue one remote op.
     Issue,
-    /// A request arrived over the depth bus (queue it at the port).
-    RequestArrival {
-        origin: usize,
+    /// A request landed off the depth bus at the origin's column image on
+    /// the home plane.
+    Entry {
+        origin_plane: u32,
         op_seq: u64,
         line: u64,
         kind: RemoteKind,
     },
-    /// The port finishes servicing a request (perform it, send reply).
+    /// A forwarded request reached the line's home column.
+    PortArrival {
+        origin_plane: u32,
+        origin_col: u32,
+        op_seq: u64,
+        line: u64,
+        kind: RemoteKind,
+    },
+    /// The memory port finishes servicing (perform the op, start the
+    /// reply on its way).
     ServiceDone {
-        origin: usize,
+        origin_plane: u32,
+        origin_col: u32,
         op_seq: u64,
         line: u64,
         kind: RemoteKind,
     },
-    /// A reply arrived back at the requester.
+    /// A reply reached the origin column's image on the home plane,
+    /// about to cross the depth bus.
+    Exit {
+        origin_plane: u32,
+        op_seq: u64,
+        value: u64,
+        success: bool,
+    },
+    /// A reply arrived back at the requesting cell.
     ReplyArrival {
         op_seq: u64,
         value: u64,
@@ -119,22 +227,45 @@ enum DepthEv {
     },
 }
 
-/// Aggregate depth-bus statistics of one plane (all integers, so the
-/// quick-mode artifacts that CI diffs stay exactly reproducible).
+/// Message-driven events; at equal instants these run before issues.
+const CLASS_MSG: u8 = 0;
+/// Generator firings.
+const CLASS_ISSUE: u8 = 1;
+
+/// The content key of an operation: its issuing cell and sequence number.
+/// `side <= 128` and `op_seq` stays far below `2^48`, so the packing is
+/// collision-free.
+fn op_key(origin_plane: u32, origin_col: u32, op_seq: u64) -> u64 {
+    ((origin_plane as u64) << 56) | ((origin_col as u64) << 48) | op_seq
+}
+
+/// Aggregate depth-traffic statistics (all integers, so the quick-mode
+/// artifacts that CI diffs stay exactly reproducible).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DepthStats {
-    /// Remote ops this plane issued.
+    /// Remote ops issued.
     pub issued: u64,
-    /// Requests this plane serviced for others.
+    /// Requests serviced for others.
     pub serviced: u64,
-    /// Replies this plane received.
+    /// Replies received.
     pub replies: u64,
-    /// TEST-AND-SET attempts by this plane that won the word.
+    /// TEST-AND-SET attempts that won the word.
     pub tas_won: u64,
     /// Total round-trip latency over all replies (ns).
     pub latency_total_ns: u64,
     /// Worst round-trip latency (ns).
     pub latency_max_ns: u64,
+}
+
+impl DepthStats {
+    fn merge(&mut self, other: &DepthStats) {
+        self.issued += other.issued;
+        self.serviced += other.serviced;
+        self.replies += other.replies;
+        self.tas_won += other.tas_won;
+        self.latency_total_ns += other.latency_total_ns;
+        self.latency_max_ns = self.latency_max_ns.max(other.latency_max_ns);
+    }
 }
 
 /// A shared append-only byte sink for per-plane machine traces.
@@ -151,37 +282,46 @@ impl Write for SharedBuf {
     }
 }
 
-/// One plane of the cube: a full 2-D machine plus the depth-bus port and
-/// the open-loop remote-traffic generator.
-struct PlaneShard {
+/// One column-bus domain of one plane: the open-loop remote-traffic
+/// generator for that column's processors, the column's memory module
+/// (the words remote ops target), and its FIFO memory port. All
+/// depth-traffic state lives here — never in the plane's [`Machine`] — so
+/// a cell behaves identically whether its shard holds one cell (column
+/// granularity) or a whole plane's worth.
+struct ColumnCell {
     plane: usize,
-    planes: usize,
-    machine: Machine,
+    col: usize,
+    side: usize,
     rng: DeterministicRng,
-    pending: std::collections::BTreeMap<(SimTime, u8, u64), DepthEv>,
-    tiebreak: u64,
-    /// Remote ops the generator has yet to issue (`Issue` is pending iff
-    /// this is nonzero).
+    pending: std::collections::BTreeMap<(SimTime, u8, u64), CellEv>,
+    /// Remote ops the generator has yet to issue.
     issues_left: u64,
+    /// Next op sequence number this cell issues.
+    op_seq: u64,
     remote_gap_ns: f64,
     remote_lines: u64,
-    /// When the FIFO depth port next frees up.
+    /// When the FIFO memory port next frees up.
     port_free_at: SimTime,
-    /// Memory-side synchronization words (plane-local; remote TAS/CLEAR
-    /// target the *home* plane's map).
-    sync: FxHashMap<u64, u64>,
-    /// In-flight remote ops this plane issued: op_seq -> issue time.
+    /// This column's memory words: bit 0 is the TAS lock, the bits above
+    /// count CLEAR releases. Only lines with `line % side == col` live
+    /// here.
+    words: FxHashMap<u64, u64>,
+    /// In-flight remote ops this cell issued: op_seq -> issue time.
     outstanding: FxHashMap<u64, SimTime>,
     stats: DepthStats,
-    /// Order-sensitive digest of every depth event this plane observed.
+    /// Order-sensitive digest of every event this cell observed.
     digest: u64,
-    trace: Option<SharedBuf>,
 }
 
-impl PlaneShard {
-    fn schedule(&mut self, at: SimTime, class: u8, ev: DepthEv) {
-        self.tiebreak += 1;
-        self.pending.insert((at, class, self.tiebreak), ev);
+impl ColumnCell {
+    fn schedule(&mut self, at: SimTime, class: u8, key: u64, ev: CellEv) {
+        let clobbered = self.pending.insert((at, class, key), ev);
+        assert!(
+            clobbered.is_none(),
+            "cell ({}, {}): event key collision at {at}",
+            self.plane,
+            self.col
+        );
     }
 
     fn fold(&mut self, at: SimTime, vals: [u64; 3]) {
@@ -194,14 +334,51 @@ impl PlaneShard {
         }
     }
 
-    /// Handles one depth event at instant `at`, emitting bus messages
-    /// through `out`.
-    fn handle_depth(&mut self, at: SimTime, ev: DepthEv, out: &mut Outbox<DepthMsg>) {
+    /// The line's home column on any plane.
+    fn home_col(&self, line: u64) -> usize {
+        (line % self.side as u64) as usize
+    }
+
+    fn enqueue_port(
+        &mut self,
+        at: SimTime,
+        origin_plane: u32,
+        origin_col: u32,
+        op_seq: u64,
+        line: u64,
+        kind: RemoteKind,
+    ) {
+        let start = self.port_free_at.max(at);
+        let done = start + SimDuration::from_nanos(SERVICE_NS);
+        self.port_free_at = done;
+        self.schedule(
+            done,
+            CLASS_MSG,
+            op_key(origin_plane, origin_col, op_seq),
+            CellEv::ServiceDone {
+                origin_plane,
+                origin_col,
+                op_seq,
+                line,
+                kind,
+            },
+        );
+    }
+
+    /// Handles one cell event at instant `at`. Emitted messages are
+    /// addressed `(plane, column)`; the owning shard decides whether each
+    /// is a local schedule or a cross-shard send.
+    fn handle(
+        &mut self,
+        at: SimTime,
+        ev: CellEv,
+        emit: &mut impl FnMut(usize, usize, SimTime, DepthMsg),
+    ) {
         match ev {
-            DepthEv::Issue => {
-                let home = self
+            CellEv::Issue => {
+                let home_plane = self
                     .rng
-                    .below_excluding(self.planes as u64, self.plane as u64)
+                    .below_excluding(self.side as u64, self.plane as u64)
                     as usize;
                 let line = self.rng.below(self.remote_lines);
                 let kind = match self.rng.below(10) {
@@ -209,15 +386,18 @@ impl PlaneShard {
                     6..=8 => RemoteKind::TestAndSet,
                     _ => RemoteKind::Clear,
                 };
-                let op_seq = self.stats.issued;
+                let op_seq = self.op_seq;
+                self.op_seq += 1;
                 self.stats.issued += 1;
                 self.outstanding.insert(op_seq, at);
-                self.fold(at, [0, op_seq, (home as u64) << 32 | line]);
-                out.send(
-                    home,
+                self.fold(at, [0, op_seq, (home_plane as u64) << 32 | line]);
+                emit(
+                    home_plane,
+                    self.col,
                     at + SimDuration::from_nanos(HOP_NS),
                     DepthMsg::Request {
-                        origin: self.plane,
+                        origin_plane: self.plane as u32,
+                        origin_col: self.col as u32,
                         op_seq,
                         line,
                         kind,
@@ -226,69 +406,126 @@ impl PlaneShard {
                 self.issues_left -= 1;
                 if self.issues_left > 0 {
                     let gap = 1 + self.rng.exponential(self.remote_gap_ns).max(0.0) as u64;
-                    self.schedule(at + SimDuration::from_nanos(gap), 1, DepthEv::Issue);
+                    self.schedule(
+                        at + SimDuration::from_nanos(gap),
+                        CLASS_ISSUE,
+                        op_key(self.plane as u32, self.col as u32, self.op_seq),
+                        CellEv::Issue,
+                    );
                 }
             }
-            DepthEv::RequestArrival {
-                origin,
+            CellEv::Entry {
+                origin_plane,
                 op_seq,
                 line,
                 kind,
             } => {
-                let start = self.port_free_at.max(at);
-                let done = start + SimDuration::from_nanos(SERVICE_NS);
-                self.port_free_at = done;
-                self.fold(at, [1, (origin as u64) << 32 | op_seq, line]);
-                self.schedule(
-                    done,
-                    0,
-                    DepthEv::ServiceDone {
-                        origin,
-                        op_seq,
-                        line,
-                        kind,
-                    },
-                );
+                self.fold(at, [1, (origin_plane as u64) << 32 | op_seq, line]);
+                let home = self.home_col(line);
+                if home == self.col {
+                    // Landed directly on the home column: straight to the
+                    // memory port.
+                    self.enqueue_port(at, origin_plane, self.col as u32, op_seq, line, kind);
+                } else {
+                    emit(
+                        self.plane,
+                        home,
+                        at + SimDuration::from_nanos(GRID_HOP_NS),
+                        DepthMsg::RequestTransit {
+                            origin_plane,
+                            origin_col: self.col as u32,
+                            op_seq,
+                            line,
+                            kind,
+                        },
+                    );
+                }
             }
-            DepthEv::ServiceDone {
-                origin,
+            CellEv::PortArrival {
+                origin_plane,
+                origin_col,
+                op_seq,
+                line,
+                kind,
+            } => {
+                self.fold(at, [5, (origin_plane as u64) << 32 | op_seq, line]);
+                self.enqueue_port(at, origin_plane, origin_col, op_seq, line, kind);
+            }
+            CellEv::ServiceDone {
+                origin_plane,
+                origin_col,
                 op_seq,
                 line,
                 kind,
             } => {
                 let (value, success) = match kind {
-                    RemoteKind::Read => (
-                        self.machine.committed_version(LineAddr::new(line)).stamp(),
-                        true,
-                    ),
+                    RemoteKind::Read => (self.words.get(&line).copied().unwrap_or(0), true),
                     RemoteKind::TestAndSet => {
-                        let word = self.sync.entry(line).or_insert(0);
+                        let word = self.words.entry(line).or_insert(0);
                         let old = *word;
-                        if old == 0 {
-                            *word = 1;
+                        if old & 1 == 0 {
+                            *word |= 1;
                         }
-                        (old, old == 0)
+                        (old, old & 1 == 0)
                     }
                     RemoteKind::Clear => {
-                        let word = self.sync.entry(line).or_insert(0);
+                        let word = self.words.entry(line).or_insert(0);
                         let old = *word;
-                        *word = 0;
+                        // Drop the lock bit, bump the release epoch: later
+                        // READs observe the history of releases.
+                        *word = (old & !1).wrapping_add(2);
                         (old, true)
                     }
                 };
                 self.stats.serviced += 1;
                 self.fold(at, [2, kind.code() << 32 | op_seq, value]);
-                out.send(
-                    origin,
+                if origin_col as usize == self.col {
+                    emit(
+                        origin_plane as usize,
+                        origin_col as usize,
+                        at + SimDuration::from_nanos(HOP_NS),
+                        DepthMsg::Reply {
+                            origin_col,
+                            op_seq,
+                            value,
+                            success,
+                        },
+                    );
+                } else {
+                    emit(
+                        self.plane,
+                        origin_col as usize,
+                        at + SimDuration::from_nanos(GRID_HOP_NS),
+                        DepthMsg::ReplyTransit {
+                            origin_plane,
+                            origin_col,
+                            op_seq,
+                            value,
+                            success,
+                        },
+                    );
+                }
+            }
+            CellEv::Exit {
+                origin_plane,
+                op_seq,
+                value,
+                success,
+            } => {
+                self.fold(at, [4, op_seq, value]);
+                emit(
+                    origin_plane as usize,
+                    self.col,
                     at + SimDuration::from_nanos(HOP_NS),
                     DepthMsg::Reply {
+                        origin_col: self.col as u32,
                         op_seq,
                         value,
                         success,
                     },
                 );
             }
-            DepthEv::ReplyArrival {
+            CellEv::ReplyArrival {
                 op_seq,
                 value,
                 success,
@@ -306,50 +543,219 @@ impl PlaneShard {
             }
         }
     }
+
+    /// Lower bound on the first *bus departure* this pending event can
+    /// cause, as `(delivery time, crosses shards at plane granularity)`.
+    /// `None` for terminal events.
+    fn send_bound(&self, t: SimTime, ev: &CellEv) -> Option<(SimTime, bool)> {
+        let ns = SimDuration::from_nanos;
+        match ev {
+            CellEv::Issue => Some((t + ns(HOP_NS), true)),
+            CellEv::Entry { line, .. } => {
+                if self.home_col(*line) == self.col {
+                    Some((t + ns(SERVICE_NS + HOP_NS), true))
+                } else {
+                    // First departure is the grid transit; at plane
+                    // granularity that is shard-local and the first
+                    // *cross-shard* departure is the eventual depth reply.
+                    Some((t + ns(GRID_HOP_NS), false))
+                }
+            }
+            CellEv::PortArrival { origin_col, .. } | CellEv::ServiceDone { origin_col, .. } => {
+                let service = match ev {
+                    CellEv::PortArrival { .. } => SERVICE_NS,
+                    _ => 0,
+                };
+                if *origin_col as usize == self.col {
+                    Some((t + ns(service + HOP_NS), true))
+                } else {
+                    Some((t + ns(service + GRID_HOP_NS), false))
+                }
+            }
+            CellEv::Exit { .. } => Some((t + ns(HOP_NS), true)),
+            CellEv::ReplyArrival { .. } => None,
+        }
+    }
 }
 
-impl ShardModel for PlaneShard {
+/// Decodes a bus message into the destination column and the cell event
+/// it schedules there. Used identically for cross-shard deliveries and
+/// shard-local forwarding, so both granularities construct the same
+/// event with the same content key.
+fn decode(msg: DepthMsg, side: usize) -> (usize, u8, u64, CellEv) {
+    match msg {
+        DepthMsg::Request {
+            origin_plane,
+            origin_col,
+            op_seq,
+            line,
+            kind,
+        } => (
+            origin_col as usize,
+            CLASS_MSG,
+            op_key(origin_plane, origin_col, op_seq),
+            CellEv::Entry {
+                origin_plane,
+                op_seq,
+                line,
+                kind,
+            },
+        ),
+        DepthMsg::RequestTransit {
+            origin_plane,
+            origin_col,
+            op_seq,
+            line,
+            kind,
+        } => (
+            (line % side as u64) as usize,
+            CLASS_MSG,
+            op_key(origin_plane, origin_col, op_seq),
+            CellEv::PortArrival {
+                origin_plane,
+                origin_col,
+                op_seq,
+                line,
+                kind,
+            },
+        ),
+        DepthMsg::ReplyTransit {
+            origin_plane,
+            origin_col,
+            op_seq,
+            value,
+            success,
+        } => (
+            origin_col as usize,
+            CLASS_MSG,
+            op_key(origin_plane, origin_col, op_seq),
+            CellEv::Exit {
+                origin_plane,
+                op_seq,
+                value,
+                success,
+            },
+        ),
+        DepthMsg::Reply {
+            origin_col,
+            op_seq,
+            value,
+            success,
+        } => (
+            origin_col as usize,
+            CLASS_MSG,
+            // The reply terminates at the issuing cell, whose plane is
+            // the destination shard's plane — the key is completed there.
+            op_seq,
+            CellEv::ReplyArrival {
+                op_seq,
+                value,
+                success,
+            },
+        ),
+    }
+}
+
+/// One shard of the cube: a whole plane (machine + `n` cells) at plane
+/// granularity, or one cell (plus the plane's machine parked on the
+/// column-0 shard) at column granularity.
+struct CubeShard {
+    index: usize,
+    granularity: CubeShards,
+    side: usize,
+    plane: usize,
+    machine: Option<Machine>,
+    /// This shard's cells in column order (length `side` or 1).
+    cells: Vec<ColumnCell>,
+    trace: Option<SharedBuf>,
+}
+
+impl CubeShard {
+    fn target_shard(&self, plane: usize, col: usize) -> usize {
+        match self.granularity {
+            CubeShards::Plane => plane,
+            CubeShards::Column => plane * self.side + col,
+        }
+    }
+
+    fn cell_slot(&self, col: usize) -> usize {
+        match self.granularity {
+            CubeShards::Plane => col,
+            CubeShards::Column => 0,
+        }
+    }
+
+    fn deliver(&mut self, at: SimTime, msg: DepthMsg) {
+        let (col, class, mut key, ev) = decode(msg, self.side);
+        let slot = self.cell_slot(col);
+        if let CellEv::ReplyArrival { op_seq, .. } = ev {
+            // Complete the op key with the issuing cell's identity (this
+            // cell — replies come home).
+            key = op_key(self.cells[slot].plane as u32, col as u32, op_seq);
+        }
+        debug_assert_eq!(self.cells[slot].col, col, "message routed to wrong cell");
+        self.cells[slot].schedule(at, class, key, ev);
+    }
+}
+
+impl ShardModel for CubeShard {
     type Msg = DepthMsg;
 
     fn next_time(&self) -> Option<SimTime> {
-        let depth = self.pending.keys().next().map(|&(t, _, _)| t);
-        let mach = self.machine.next_event_time();
-        match (depth, mach) {
-            (Some(d), Some(m)) => Some(d.min(m)),
-            (d, m) => d.or(m),
+        let mut next: Option<SimTime> = self.machine.as_ref().and_then(|m| m.next_event_time());
+        for cell in &self.cells {
+            if let Some(&(t, _, _)) = cell.pending.keys().next() {
+                if next.is_none_or(|n| t < n) {
+                    next = Some(t);
+                }
+            }
         }
+        next
     }
 
     fn earliest_send(&self) -> Option<SimTime> {
         let mut bound: Option<SimTime> = None;
-        let mut fold = |t: SimTime| {
-            if bound.is_none_or(|b| t < b) {
-                bound = Some(t);
-            }
-        };
-        for (&(t, _, _), ev) in &self.pending {
-            match ev {
-                // An issue or a finished service puts a message on the bus
-                // one hop later.
-                DepthEv::Issue | DepthEv::ServiceDone { .. } => {
-                    fold(t + SimDuration::from_nanos(HOP_NS))
+        for cell in &self.cells {
+            for (&(t, _, _), ev) in &cell.pending {
+                let Some((first, crosses_planes)) = cell.send_bound(t, ev) else {
+                    continue;
+                };
+                let b = match (self.granularity, crosses_planes) {
+                    // At column granularity every departure crosses
+                    // shards.
+                    (CubeShards::Column, _) => first,
+                    (CubeShards::Plane, true) => first,
+                    // A shard-local grid transit: the earliest
+                    // *cross-shard* consequence is the reply finally
+                    // crossing the depth bus after forward transit,
+                    // service, and return transit.
+                    (CubeShards::Plane, false) => match ev {
+                        CellEv::Entry { .. } => {
+                            t + SimDuration::from_nanos(
+                                GRID_HOP_NS + SERVICE_NS + GRID_HOP_NS + HOP_NS,
+                            )
+                        }
+                        _ => first + SimDuration::from_nanos(HOP_NS),
+                    },
+                };
+                if bound.is_none_or(|cur| b < cur) {
+                    bound = Some(b);
                 }
-                // A queued request must be serviced first; the port may be
-                // busy, but never replies earlier than this.
-                DepthEv::RequestArrival { .. } => {
-                    fold(t + SimDuration::from_nanos(SERVICE_NS + HOP_NS))
-                }
-                // Replies terminate at this plane.
-                DepthEv::ReplyArrival { .. } => {}
             }
         }
-        // Machine events are plane-internal: they never send over a depth
-        // bus and so never constrain the neighbours.
+        // Machine events are plane-internal: they never send over a bus
+        // between shards and so never constrain the neighbours.
         bound
     }
 
     fn min_turnaround(&self) -> SimDuration {
-        SimDuration::from_nanos(SERVICE_NS + HOP_NS)
+        match self.granularity {
+            // An inbound request may be forwarded after one grid hop.
+            CubeShards::Column => SimDuration::from_nanos(GRID_HOP_NS.min(HOP_NS)),
+            // An inbound request is answered no earlier than one service
+            // plus the depth hop back.
+            CubeShards::Plane => SimDuration::from_nanos(SERVICE_NS + HOP_NS),
+        }
     }
 
     fn advance(
@@ -359,51 +765,43 @@ impl ShardModel for PlaneShard {
         out: &mut Outbox<DepthMsg>,
     ) {
         for a in inbox {
-            match a.msg {
-                DepthMsg::Request {
-                    origin,
-                    op_seq,
-                    line,
-                    kind,
-                } => self.schedule(
-                    a.at,
-                    0,
-                    DepthEv::RequestArrival {
-                        origin,
-                        op_seq,
-                        line,
-                        kind,
-                    },
-                ),
-                DepthMsg::Reply {
-                    op_seq,
-                    value,
-                    success,
-                } => self.schedule(
-                    a.at,
-                    0,
-                    DepthEv::ReplyArrival {
-                        op_seq,
-                        value,
-                        success,
-                    },
-                ),
-            }
+            self.deliver(a.at, a.msg);
         }
+        let mut emits: Vec<(usize, usize, SimTime, DepthMsg)> = Vec::new();
         loop {
-            let depth_next = self.pending.keys().next().copied();
-            // Drain machine events strictly below the next depth event
-            // (or the horizon), then the depth event itself — so at equal
-            // instants depth events run first: a fixed, documented order.
-            let bound = match depth_next {
-                Some((t, _, _)) => horizon.min(t),
-                None => horizon,
-            };
-            self.machine.advance_until(bound);
-            match depth_next {
-                Some(key @ (t, _, _)) if t < horizon => {
-                    let ev = self.pending.remove(&key).unwrap();
-                    self.handle_depth(t, ev, out);
+            // The earliest pending cell event across this shard's cells;
+            // keys are content-addressed, so the winner is
+            // iteration-order-independent.
+            let mut best: Option<(usize, (SimTime, u8, u64))> = None;
+            for (ci, cell) in self.cells.iter().enumerate() {
+                if let Some(&k) = cell.pending.keys().next() {
+                    if best.is_none_or(|(_, bk)| k < bk) {
+                        best = Some((ci, k));
+                    }
+                }
+            }
+            // Drain machine events strictly below the next cell event (or
+            // the horizon), then the cell event itself — so at equal
+            // instants depth traffic runs first: a fixed, documented
+            // order.
+            let bound = best.map_or(horizon, |(_, (t, _, _))| horizon.min(t));
+            if let Some(machine) = &mut self.machine {
+                machine.advance_until(bound);
+            }
+            match best {
+                Some((ci, key @ (t, _, _))) if t < horizon => {
+                    let ev = self.cells[ci].pending.remove(&key).unwrap();
+                    self.cells[ci].handle(t, ev, &mut |plane, col, at, msg| {
+                        emits.push((plane, col, at, msg));
+                    });
+                    for (plane, col, at, msg) in emits.drain(..) {
+                        let target = self.target_shard(plane, col);
+                        if target == self.index {
+                            self.deliver(at, msg);
+                        } else {
+                            out.send(target, at, msg);
+                        }
+                    }
                 }
                 _ => break,
             }
@@ -422,17 +820,25 @@ pub struct CubeConfig {
     pub spec: SyntheticSpec,
     /// Blocking transactions per processor.
     pub txns_per_node: u64,
-    /// Open-loop remote (cross-plane) ops each plane issues.
+    /// Open-loop remote (cross-plane) ops each plane issues, split across
+    /// its `n` column generators.
     pub remote_ops: u64,
-    /// Mean gap between a plane's remote issues (ns).
+    /// Mean gap between a column generator's remote issues (ns).
     pub remote_gap_ns: f64,
-    /// Remote ops target lines `0..remote_lines`.
+    /// Remote ops target lines `0..remote_lines`; a line's home column is
+    /// `line % n`.
     pub remote_lines: u64,
-    /// Master seed; every plane's machine and traffic stream derive from
-    /// it by [`split_seed`].
+    /// Master seed; every machine and per-column traffic stream derives
+    /// from it by [`split_seed`].
     pub seed: u64,
     /// Worker threads (1 = serial reference execution).
     pub workers: usize,
+    /// Shard granularity (plane vs. column-bus domain).
+    pub shards: CubeShards,
+    /// Round executor.
+    pub executor: ExecutorKind,
+    /// Cap horizons with the adaptive conservative window.
+    pub adaptive_window: bool,
     /// Run the coherence checker at the end of every plane's workload.
     pub check: bool,
     /// Capture per-plane machine traces (JSONL) and fingerprint them.
@@ -440,8 +846,8 @@ pub struct CubeConfig {
 }
 
 impl CubeConfig {
-    /// A small default: side `n`, paper timing, Multicube engine,
-    /// checking on, tracing off.
+    /// A small default: side `n`, paper timing, Multicube engine, plane
+    /// sharding, two-barrier executor, checking on, tracing off.
     pub fn new(side: u32) -> Self {
         CubeConfig {
             side,
@@ -453,6 +859,9 @@ impl CubeConfig {
             remote_lines: 64,
             seed: 0x5EED,
             workers: 1,
+            shards: CubeShards::Plane,
+            executor: ExecutorKind::TwoBarrier,
+            adaptive_window: false,
             check: true,
             capture_trace: false,
         }
@@ -464,9 +873,10 @@ impl CubeConfig {
 pub struct PlaneReport {
     /// The plane's closed-loop workload report.
     pub run: RunReport,
-    /// The plane's depth-bus traffic statistics.
+    /// The plane's depth-traffic statistics (summed over its columns).
     pub depth: DepthStats,
-    /// Order-sensitive digest of the plane's depth events.
+    /// Order-sensitive digest of the plane's depth events (its cells'
+    /// digests combined in column order).
     pub depth_digest: u64,
     /// md5 of the plane's machine trace (when capture was on).
     pub trace_md5: Option<String>,
@@ -479,9 +889,14 @@ pub struct CubeReport {
     pub side: u32,
     /// Total processors (`n^3`).
     pub processors: u64,
+    /// Shards the run was decomposed into (`n` or `n^2`).
+    pub shard_count: usize,
     /// Per-plane results, in plane order.
     pub planes: Vec<PlaneReport>,
-    /// Scheduler statistics.
+    /// Scheduler statistics. Deterministic for a given granularity and
+    /// window policy, but *not* granularity-invariant (a different shard
+    /// graph synchronizes differently) — which is why the fingerprint
+    /// does not include it.
     pub pdes: PdesStats,
     /// Machine events delivered across all planes (the throughput-kernel
     /// work unit).
@@ -492,7 +907,8 @@ impl CubeReport {
     /// A canonical fingerprint of everything deterministic about the run:
     /// per-plane transaction counts, depth statistics and digests, and
     /// (when captured) the machine trace hashes. Byte-identical across
-    /// worker counts by construction.
+    /// shard granularity, executor, window policy, and worker count by
+    /// construction.
     pub fn fingerprint(&self) -> String {
         let mut s = String::new();
         s.push_str(&format!("side={} procs={}\n", self.side, self.processors));
@@ -511,86 +927,177 @@ impl CubeReport {
     }
 }
 
-/// Builds the planes and runs the cube to quiescence.
+/// Builds one plane's machine with its trace sink.
+fn build_machine(cfg: &CubeConfig, plane: usize) -> (Machine, Option<SharedBuf>) {
+    let mconfig = MachineConfig::grid(cfg.side)
+        .expect("valid grid side")
+        .with_engine(cfg.engine)
+        .with_checking(cfg.check);
+    let mseed = split_seed(cfg.seed, stream_id("pdes", "plane"), plane as u64);
+    let mut machine = Machine::new(mconfig, mseed).expect("valid machine config");
+    let trace = cfg.capture_trace.then(SharedBuf::default);
+    if let Some(buf) = &trace {
+        machine.set_trace_sink(TraceSink::writer(Box::new(buf.clone()), TraceFormat::Jsonl));
+    }
+    machine.begin_synthetic(&cfg.spec, cfg.txns_per_node);
+    (machine, trace)
+}
+
+/// Builds one column cell and schedules its first issue. The per-cell RNG
+/// stream and issue budget depend only on `(plane, col)`, never on the
+/// granularity.
+fn build_cell(cfg: &CubeConfig, plane: usize, col: usize) -> ColumnCell {
+    let side = cfg.side as usize;
+    let per_col =
+        cfg.remote_ops / side as u64 + u64::from((col as u64) < cfg.remote_ops % side as u64);
+    let mut cell = ColumnCell {
+        plane,
+        col,
+        side,
+        rng: DeterministicRng::seed(split_seed(
+            cfg.seed,
+            stream_id("pdes", "depth"),
+            (plane * side + col) as u64,
+        )),
+        pending: std::collections::BTreeMap::new(),
+        issues_left: per_col,
+        op_seq: 0,
+        remote_gap_ns: cfg.remote_gap_ns,
+        remote_lines: cfg.remote_lines,
+        port_free_at: SimTime::ZERO,
+        words: FxHashMap::default(),
+        outstanding: FxHashMap::default(),
+        stats: DepthStats::default(),
+        digest: 0,
+    };
+    if cell.issues_left > 0 && side > 1 {
+        let first = 1 + cell.rng.exponential(cfg.remote_gap_ns).max(0.0) as u64;
+        cell.schedule(
+            SimTime::from_nanos(first),
+            CLASS_ISSUE,
+            op_key(plane as u32, col as u32, 0),
+            CellEv::Issue,
+        );
+    } else {
+        cell.issues_left = 0;
+    }
+    cell
+}
+
+/// Builds the shards and runs the cube to quiescence.
 ///
 /// # Panics
 ///
 /// Panics on an invalid side (< 2), on a coherence violation when
-/// checking is on, and propagates any plane panic.
+/// checking is on, and propagates any shard panic.
 pub fn run_cube(cfg: &CubeConfig) -> CubeReport {
     assert!(cfg.side >= 2, "a cube needs side >= 2");
-    let planes = cfg.side as usize;
-    let mut shards: Vec<PlaneShard> = (0..planes)
-        .map(|plane| {
-            let mconfig = MachineConfig::grid(cfg.side)
-                .expect("valid grid side")
-                .with_engine(cfg.engine)
-                .with_checking(cfg.check);
-            let mseed = split_seed(cfg.seed, stream_id("pdes", "plane"), plane as u64);
-            let mut machine = Machine::new(mconfig, mseed).expect("valid machine config");
-            let trace = cfg.capture_trace.then(SharedBuf::default);
-            if let Some(buf) = &trace {
-                machine
-                    .set_trace_sink(TraceSink::writer(Box::new(buf.clone()), TraceFormat::Jsonl));
-            }
-            machine.begin_synthetic(&cfg.spec, cfg.txns_per_node);
-            let mut shard = PlaneShard {
-                plane,
-                planes,
-                machine,
-                rng: DeterministicRng::seed(split_seed(
-                    cfg.seed,
-                    stream_id("pdes", "depth"),
-                    plane as u64,
-                )),
-                pending: std::collections::BTreeMap::new(),
-                tiebreak: 0,
-                issues_left: cfg.remote_ops,
-                remote_gap_ns: cfg.remote_gap_ns,
-                remote_lines: cfg.remote_lines,
-                port_free_at: SimTime::ZERO,
-                sync: FxHashMap::default(),
-                outstanding: FxHashMap::default(),
-                stats: DepthStats::default(),
-                digest: 0,
-                trace,
-            };
-            if shard.issues_left > 0 && planes > 1 {
-                let first = 1 + shard.rng.exponential(cfg.remote_gap_ns).max(0.0) as u64;
-                shard.schedule(SimTime::from_nanos(first), 1, DepthEv::Issue);
-            } else {
-                shard.issues_left = 0;
-            }
-            shard
-        })
-        .collect();
+    let side = cfg.side as usize;
+    // The two-level map is the ground truth for the shard decomposition:
+    // dimension 0 picks the plane, dimension 1 the column-bus domain.
+    let map = TwoLevelMap::new(Multicube::new(cfg.side, 3).expect("valid cube"), 0, 1)
+        .expect("dimensions 0 and 1 are distinct");
 
-    let pdes_cfg = if cfg.workers <= 1 {
-        PdesConfig::serial(SimDuration::from_nanos(HOP_NS))
-    } else {
-        PdesConfig::parallel(cfg.workers, SimDuration::from_nanos(HOP_NS))
+    let mut shards: Vec<CubeShard> = match cfg.shards {
+        CubeShards::Plane => (0..side)
+            .map(|plane| {
+                let (machine, trace) = build_machine(cfg, plane);
+                CubeShard {
+                    index: plane,
+                    granularity: CubeShards::Plane,
+                    side,
+                    plane,
+                    machine: Some(machine),
+                    cells: (0..side).map(|col| build_cell(cfg, plane, col)).collect(),
+                    trace,
+                }
+            })
+            .collect(),
+        CubeShards::Column => (0..map.num_shards())
+            .map(|index| {
+                let (plane, col) = map.domains_of(index);
+                let (plane, col) = (plane as usize, col as usize);
+                // The plane's machine rides on its column-0 shard; any
+                // placement works because machine events never cross
+                // shards.
+                let (machine, trace) = if col == 0 {
+                    let (m, t) = build_machine(cfg, plane);
+                    (Some(m), t)
+                } else {
+                    (None, None)
+                };
+                CubeShard {
+                    index: index as usize,
+                    granularity: CubeShards::Column,
+                    side,
+                    plane,
+                    machine,
+                    cells: vec![build_cell(cfg, plane, col)],
+                    trace,
+                }
+            })
+            .collect(),
     };
+    let shard_count = shards.len();
+
+    // Both hop latencies are 10 ns, so the lookahead is one bus hop at
+    // either granularity.
+    let lookahead = SimDuration::from_nanos(HOP_NS.min(GRID_HOP_NS));
+    let mut pdes_cfg = if cfg.workers <= 1 {
+        PdesConfig::serial(lookahead)
+    } else {
+        PdesConfig::parallel(cfg.workers, lookahead)
+    };
+    pdes_cfg = pdes_cfg.with_executor(cfg.executor);
+    if cfg.adaptive_window {
+        pdes_cfg = pdes_cfg.with_window(WindowPolicy::adaptive(lookahead));
+    }
     let stats = pdes::run(&pdes_cfg, &mut shards);
 
+    // Regroup shards into planes: machines and traces from wherever they
+    // rode, cells summed and digest-combined in column order.
+    let mut machines: Vec<Option<(Machine, Option<SharedBuf>)>> = (0..side).map(|_| None).collect();
+    let mut plane_cells: Vec<Vec<ColumnCell>> = (0..side).map(|_| Vec::new()).collect();
+    for shard in shards {
+        let plane = shard.plane;
+        if let Some(machine) = shard.machine {
+            machines[plane] = Some((machine, shard.trace));
+        }
+        plane_cells[plane].extend(shard.cells);
+    }
+
     let mut events_delivered = 0u64;
-    let planes: Vec<PlaneReport> = shards
+    let planes: Vec<PlaneReport> = machines
         .into_iter()
-        .map(|mut shard| {
-            assert!(
-                shard.outstanding.is_empty(),
-                "plane {} finished with unanswered remote ops",
-                shard.plane
-            );
-            let run = shard.machine.finish_synthetic();
+        .zip(plane_cells)
+        .enumerate()
+        .map(|(plane, (machine, mut cells))| {
+            let (mut machine, trace) = machine.expect("every plane has a machine");
+            cells.sort_by_key(|c| c.col);
+            let mut depth = DepthStats::default();
+            let mut depth_digest = 0u64;
+            for cell in &cells {
+                assert!(
+                    cell.outstanding.is_empty(),
+                    "cell ({plane}, {}) finished with unanswered remote ops",
+                    cell.col
+                );
+                assert!(cell.pending.is_empty());
+                depth.merge(&cell.stats);
+                depth_digest = depth_digest
+                    .rotate_left(13)
+                    .wrapping_mul(0x100000001B3)
+                    .wrapping_add(cell.digest);
+            }
+            let run = machine.finish_synthetic();
             events_delivered += run.events_delivered;
-            let trace_md5 = shard
-                .trace
+            let trace_md5 = trace
                 .as_ref()
                 .map(|buf| multicube_sim::md5_hex(&buf.0.lock().unwrap()));
             PlaneReport {
                 run,
-                depth: shard.stats,
-                depth_digest: shard.digest,
+                depth,
+                depth_digest,
                 trace_md5,
             }
         })
@@ -599,6 +1106,7 @@ pub fn run_cube(cfg: &CubeConfig) -> CubeReport {
     CubeReport {
         side: cfg.side,
         processors: (cfg.side as u64).pow(3),
+        shard_count,
         planes,
         pdes: stats,
         events_delivered,
@@ -625,6 +1133,7 @@ mod tests {
         assert_eq!(report.side, 3);
         assert_eq!(report.processors, 27);
         assert_eq!(report.planes.len(), 3);
+        assert_eq!(report.shard_count, 3);
         let issued: u64 = report.planes.iter().map(|p| p.depth.issued).sum();
         let serviced: u64 = report.planes.iter().map(|p| p.depth.serviced).sum();
         let replies: u64 = report.planes.iter().map(|p| p.depth.replies).sum();
@@ -649,6 +1158,39 @@ mod tests {
     }
 
     #[test]
+    fn column_granularity_reproduces_the_plane_fingerprint() {
+        let reference = run_cube(&small_cfg(1));
+        for workers in [1usize, 2, 5] {
+            let mut cfg = small_cfg(workers);
+            cfg.shards = CubeShards::Column;
+            let report = run_cube(&cfg);
+            assert_eq!(report.shard_count, 9);
+            assert_eq!(
+                report.fingerprint(),
+                reference.fingerprint(),
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn executor_and_window_do_not_change_the_fingerprint() {
+        let reference = run_cube(&small_cfg(1)).fingerprint();
+        for shards in [CubeShards::Plane, CubeShards::Column] {
+            for executor in [ExecutorKind::TwoBarrier, ExecutorKind::WorkStealing] {
+                for adaptive in [false, true] {
+                    let mut cfg = small_cfg(3);
+                    cfg.shards = shards;
+                    cfg.executor = executor;
+                    cfg.adaptive_window = adaptive;
+                    let fp = run_cube(&cfg).fingerprint();
+                    assert_eq!(fp, reference, "{shards:?} {executor:?} adaptive={adaptive}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn engines_all_support_the_cube() {
         for engine in EngineKind::all() {
             let mut cfg = small_cfg(2);
@@ -657,5 +1199,25 @@ mod tests {
             let report = run_cube(&cfg);
             assert_eq!(report.planes.len(), 3, "{engine:?}");
         }
+    }
+
+    #[test]
+    fn shards_override_parses_and_rejects_loudly() {
+        assert_eq!(CubeShards::from_override(None), None);
+        assert_eq!(
+            CubeShards::from_override(Some("plane")),
+            Some(CubeShards::Plane)
+        );
+        assert_eq!(
+            CubeShards::from_override(Some(" column ")),
+            Some(CubeShards::Column)
+        );
+        let err =
+            std::panic::catch_unwind(|| CubeShards::from_override(Some("diagonal"))).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert_eq!(
+            msg,
+            "MULTICUBE_PDES_SHARDS must be \"plane\" or \"column\", got \"diagonal\""
+        );
     }
 }

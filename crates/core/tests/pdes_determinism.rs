@@ -1,11 +1,13 @@
 //! Differential determinism suite for the parallel cube: the serial
-//! (1-worker) execution is the reference, and every parallel worker
-//! count must reproduce it byte for byte — per-plane machine traces,
-//! depth-event digests, and the aggregate fingerprint — across all three
-//! coherence engines.
+//! (1-worker, plane-sharded, two-barrier, unbounded-window) execution is
+//! the reference, and every parallel worker count, shard granularity,
+//! executor, and window policy must reproduce it byte for byte —
+//! per-plane machine traces, depth-event digests, and the aggregate
+//! fingerprint — across all three coherence engines.
 
-use multicube::pdes::{run_cube, CubeConfig, CubeReport};
+use multicube::pdes::{run_cube, CubeConfig, CubeReport, CubeShards};
 use multicube::EngineKind;
+use multicube_sim::pdes::ExecutorKind;
 
 fn cfg(engine: EngineKind, workers: usize, capture: bool) -> CubeConfig {
     let mut cfg = CubeConfig::new(4);
@@ -67,6 +69,30 @@ fn parallel_traces_match_serial_for_every_engine() {
 }
 
 #[test]
+fn every_granularity_executor_and_window_matches_the_reference() {
+    let reference = run_cube(&cfg(EngineKind::Multicube, 1, true));
+    let ref_fp = reference.fingerprint();
+    let ref_summary = summary(&reference);
+    for shards in [CubeShards::Plane, CubeShards::Column] {
+        for executor in [ExecutorKind::TwoBarrier, ExecutorKind::WorkStealing] {
+            for adaptive in [false, true] {
+                for workers in worker_counts() {
+                    let mut c = cfg(EngineKind::Multicube, workers, true);
+                    c.shards = shards;
+                    c.executor = executor;
+                    c.adaptive_window = adaptive;
+                    let report = run_cube(&c);
+                    let label =
+                        format!("{shards:?}/{executor:?}/adaptive={adaptive}/workers={workers}");
+                    assert_eq!(summary(&report), ref_summary, "{label} diverged");
+                    assert_eq!(report.fingerprint(), ref_fp, "{label} fingerprint diverged");
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn distinct_seeds_give_distinct_runs() {
     let a = run_cube(&cfg(EngineKind::Multicube, 1, false));
     let mut other = cfg(EngineKind::Multicube, 1, false);
@@ -77,10 +103,28 @@ fn distinct_seeds_give_distinct_runs() {
 
 #[test]
 fn scheduler_round_structure_is_worker_invariant() {
-    let serial = run_cube(&cfg(EngineKind::Multicube, 1, false));
-    for workers in worker_counts() {
-        let parallel = run_cube(&cfg(EngineKind::Multicube, workers, false));
-        assert_eq!(parallel.pdes, serial.pdes, "workers={workers}");
-        assert_eq!(parallel.events_delivered, serial.events_delivered);
+    // Round structure depends on the shard graph and window policy but
+    // never on the worker count or executor: the window is a pure
+    // function of the published bounds.
+    for shards in [CubeShards::Plane, CubeShards::Column] {
+        for adaptive in [false, true] {
+            let mut serial_cfg = cfg(EngineKind::Multicube, 1, false);
+            serial_cfg.shards = shards;
+            serial_cfg.adaptive_window = adaptive;
+            let serial = run_cube(&serial_cfg);
+            for workers in worker_counts() {
+                for executor in [ExecutorKind::TwoBarrier, ExecutorKind::WorkStealing] {
+                    let mut c = serial_cfg.clone();
+                    c.workers = workers;
+                    c.executor = executor;
+                    let parallel = run_cube(&c);
+                    assert_eq!(
+                        parallel.pdes, serial.pdes,
+                        "{shards:?}/adaptive={adaptive}/workers={workers}/{executor:?}"
+                    );
+                    assert_eq!(parallel.events_delivered, serial.events_delivered);
+                }
+            }
+        }
     }
 }

@@ -44,7 +44,10 @@ pub mod wheel;
 
 pub use digest::md5_hex;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use pdes::{Arrival, Outbox, PdesConfig, PdesStats, ShardModel};
+pub use pdes::{
+    Arrival, ExecTelemetry, ExecutorKind, Outbox, PdesConfig, PdesStats, ShardModel, WindowPolicy,
+    WindowStats,
+};
 pub use pool::{JobId, JobPanic, Pool};
 pub use queue::{EventQueue, HeapQueue, QueueImpl};
 pub use rng::{split_seed, stream_id, DeterministicRng};

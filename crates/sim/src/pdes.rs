@@ -30,10 +30,27 @@
 //! barriers, shards are statically chunked over persistent workers, and a
 //! `workers == 1` run executes inline on the caller's thread through the
 //! identical coordinator code path.
+//!
+//! Two knobs refine the baseline without touching determinism:
+//!
+//! * [`WindowPolicy::Adaptive`] caps every horizon at `t_min + W`, where
+//!   `t_min` is the round's earliest actionable instant and `W` evolves by
+//!   doubling when the cap excluded a shard that had work (an under-filled
+//!   round) and halving toward the lookahead floor otherwise. `W` is a
+//!   pure function of the published bounds, so serial and parallel runs
+//!   walk the identical round schedule.
+//! * [`ExecutorKind::WorkStealing`] replaces the static chunk walk with
+//!   per-worker deques over the same chunks: a worker drains its own deque
+//!   from the front and steals from a victim's back when idle inside a
+//!   round. Which thread advances a shard never changes what the shard
+//!   observes, so results stay byte-identical; only the
+//!   [`ExecTelemetry`] counters (steals, idle time) vary run to run.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
+use std::time::Instant;
 
 use crate::time::{SimDuration, SimTime};
 
@@ -133,6 +150,86 @@ pub trait ShardModel: Send {
     );
 }
 
+/// Which round executor advances the planned shards.
+///
+/// Both executors run the identical coordinator (`plan_round` / `route`),
+/// so they produce byte-identical shard states; they differ only in how
+/// threads claim shards inside a round. `TwoBarrier` is the static-chunk
+/// baseline kept as the differential oracle for `WorkStealing`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ExecutorKind {
+    /// Static contiguous chunks, one fixed slice per worker (PR 8).
+    #[default]
+    TwoBarrier,
+    /// Per-worker deques over the same chunks; idle workers steal from a
+    /// victim's back inside the round.
+    WorkStealing,
+}
+
+/// Environment override selecting the round executor.
+pub const EXECUTOR_ENV: &str = "MULTICUBE_PDES_EXECUTOR";
+
+impl ExecutorKind {
+    /// Parses an override value: `None` means "not set", anything else
+    /// must be exactly `two-barrier` or `work-stealing` (whitespace
+    /// trimmed).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any other value — a half-applied executor override that
+    /// silently fell back to the default would invalidate a benchmark run.
+    pub fn from_override(raw: Option<&str>) -> Option<Self> {
+        let raw = raw?;
+        match raw.trim() {
+            "two-barrier" => Some(ExecutorKind::TwoBarrier),
+            "work-stealing" => Some(ExecutorKind::WorkStealing),
+            bad => {
+                panic!("{EXECUTOR_ENV} must be \"two-barrier\" or \"work-stealing\", got {bad:?}")
+            }
+        }
+    }
+
+    /// Reads [`EXECUTOR_ENV`], with [`Self::from_override`]'s contract.
+    pub fn from_env() -> Option<Self> {
+        let raw = std::env::var(EXECUTOR_ENV).ok();
+        Self::from_override(raw.as_deref())
+    }
+
+    /// The override spelling, for reports and artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecutorKind::TwoBarrier => "two-barrier",
+            ExecutorKind::WorkStealing => "work-stealing",
+        }
+    }
+}
+
+/// How the conservative window (each round's horizon span) is sized.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum WindowPolicy {
+    /// Horizons are exactly the closed EOT bounds (PR 8 behaviour).
+    #[default]
+    Unbounded,
+    /// Horizons are additionally capped at `t_min + W` with `W` adapted
+    /// between the lookahead floor and `max` by doubling on under-filled
+    /// rounds and halving otherwise. Purely a function of published
+    /// bounds — never of wall-clock observations — so the round schedule
+    /// is identical at every worker count.
+    Adaptive {
+        /// Upper clamp on the window width.
+        max: SimDuration,
+    },
+}
+
+impl WindowPolicy {
+    /// An adaptive window with the conventional clamp of 1024 lookaheads.
+    pub fn adaptive(lookahead: SimDuration) -> Self {
+        WindowPolicy::Adaptive {
+            max: lookahead * 1024,
+        }
+    }
+}
+
 /// Scheduler configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PdesConfig {
@@ -140,6 +237,10 @@ pub struct PdesConfig {
     pub workers: usize,
     /// The minimum cross-shard latency every model must respect.
     pub lookahead: SimDuration,
+    /// Round executor (ignored when running serially).
+    pub executor: ExecutorKind,
+    /// Conservative window sizing.
+    pub window: WindowPolicy,
 }
 
 impl PdesConfig {
@@ -149,6 +250,8 @@ impl PdesConfig {
         PdesConfig {
             workers: 1,
             lookahead,
+            executor: ExecutorKind::default(),
+            window: WindowPolicy::default(),
         }
     }
 
@@ -157,18 +260,81 @@ impl PdesConfig {
         PdesConfig {
             workers: workers.max(1),
             lookahead,
+            executor: ExecutorKind::default(),
+            window: WindowPolicy::default(),
         }
+    }
+
+    /// Selects the round executor.
+    pub fn with_executor(mut self, executor: ExecutorKind) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// Selects the window policy.
+    pub fn with_window(mut self, window: WindowPolicy) -> Self {
+        self.window = window;
+        self
     }
 }
 
-/// What one scheduler run did.
+/// Window-sizing telemetry for one run (all zeros under
+/// [`WindowPolicy::Unbounded`]). Deterministic: a pure function of the
+/// round schedule.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Rounds planned under an adaptive window.
+    pub adaptive_rounds: u64,
+    /// Rounds where the cap actually tightened at least one horizon.
+    pub capped_rounds: u64,
+    /// Smallest window width used, in nanoseconds.
+    pub min_ns: u64,
+    /// Median window width used, in nanoseconds.
+    pub median_ns: u64,
+    /// Largest window width used, in nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Executor-side telemetry. **Not deterministic**: steal counts and idle
+/// time depend on thread scheduling, which is why [`PdesStats`]'s equality
+/// deliberately ignores this field.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecTelemetry {
+    /// Shards claimed from another worker's deque.
+    pub steals: u64,
+    /// Steal probes, successful or not.
+    pub steal_attempts: u64,
+    /// Summed wall-clock time workers spent idle inside rounds, in
+    /// nanoseconds.
+    pub idle_ns: u64,
+}
+
+/// What one scheduler run did.
+///
+/// Equality compares only the deterministic fields (`rounds`, `messages`,
+/// `window`) so that differential tests can assert serial == parallel
+/// while the wall-clock [`ExecTelemetry`] varies freely.
+#[derive(Debug, Clone, Copy, Default)]
 pub struct PdesStats {
     /// Synchronization rounds executed.
     pub rounds: u64,
     /// Cross-shard messages routed.
     pub messages: u64,
+    /// Window-sizing telemetry.
+    pub window: WindowStats,
+    /// Executor telemetry (excluded from equality).
+    pub exec: ExecTelemetry,
 }
+
+impl PartialEq for PdesStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.rounds == other.rounds
+            && self.messages == other.messages
+            && self.window == other.window
+    }
+}
+
+impl Eq for PdesStats {}
 
 // ---------------------------------------------------------------------
 // Pure coordinator arithmetic (shared verbatim by both executors)
@@ -234,20 +400,89 @@ struct Plan<M> {
 }
 
 /// The coordinator state threaded through rounds: per-edge sequence
-/// counters and undelivered arrivals.
+/// counters, undelivered arrivals, and the adaptive-window width.
 struct Router<M> {
     seqs: Vec<Vec<u64>>,
     inboxes: Vec<Vec<Arrival<M>>>,
     stats: PdesStats,
+    /// Current adaptive window width in nanoseconds (`None` = unbounded).
+    window_ns: Option<u64>,
+    window_floor_ns: u64,
+    window_max_ns: u64,
+    widths: Vec<u64>,
 }
 
 impl<M> Router<M> {
-    fn new(n: usize) -> Self {
+    fn new(n: usize, cfg: &PdesConfig) -> Self {
+        let floor = cfg.lookahead.as_nanos();
+        let (window_ns, window_max_ns) = match cfg.window {
+            WindowPolicy::Unbounded => (None, 0),
+            WindowPolicy::Adaptive { max } => (Some(floor), max.as_nanos().max(floor)),
+        };
         Router {
             seqs: vec![vec![0; n]; n],
             inboxes: (0..n).map(|_| Vec::new()).collect(),
             stats: PdesStats::default(),
+            window_ns,
+            window_floor_ns: floor,
+            window_max_ns,
+            widths: Vec::new(),
         }
+    }
+
+    /// Caps this round's horizons at `t_min + W` and evolves `W` for the
+    /// next round: double when the cap excluded a shard that had work
+    /// under its uncapped horizon (the round was under-filled), halve
+    /// toward the lookahead floor otherwise. Every input is a published
+    /// bound, so the capped schedule is identical on every executor and
+    /// worker count.
+    fn apply_window(&mut self, nexts: &[Option<SimTime>], hz: &mut [SimTime]) {
+        let Some(width) = self.window_ns else { return };
+        let mut t_min: Option<SimTime> = None;
+        for (i, next) in nexts.iter().enumerate() {
+            let first_inbox = self.inboxes[i].first().map(|a| a.at);
+            for t in [*next, first_inbox].into_iter().flatten() {
+                if t_min.is_none_or(|m| t < m) {
+                    t_min = Some(t);
+                }
+            }
+        }
+        // `plan_round` already returned on the idle case, so some shard
+        // has pending work or a queued arrival.
+        let t_min = t_min.expect("non-idle round has an actionable instant");
+        let cap = t_min + SimDuration::from_nanos(width);
+        let mut capped = false;
+        let mut underfilled = false;
+        for (i, h) in hz.iter_mut().enumerate() {
+            if cap < *h {
+                capped = true;
+                if nexts[i].is_some_and(|t| t < *h && t >= cap) {
+                    underfilled = true;
+                }
+                *h = cap;
+            }
+        }
+        self.stats.window.adaptive_rounds += 1;
+        if capped {
+            self.stats.window.capped_rounds += 1;
+        }
+        self.widths.push(width);
+        self.window_ns = Some(if underfilled {
+            width.saturating_mul(2).min(self.window_max_ns)
+        } else {
+            (width / 2).max(self.window_floor_ns)
+        });
+    }
+
+    /// Summarizes the per-round window widths into the final stats.
+    fn finish(&mut self) -> PdesStats {
+        if !self.widths.is_empty() {
+            self.widths.sort_unstable();
+            self.stats.window.min_ns = self.widths[0];
+            self.stats.window.median_ns = self.widths[self.widths.len() / 2];
+            self.stats.window.max_ns = *self.widths.last().unwrap();
+        }
+        self.stats
     }
 
     /// Builds the round plan from the gathered `(next, eot)` bounds, or
@@ -285,7 +520,8 @@ impl<M> Router<M> {
             }
         }
         relax_eots(&mut eots, turnaround);
-        let hz = horizons(&eots);
+        let mut hz = horizons(&eots);
+        self.apply_window(nexts, &mut hz);
         let mut plans: Vec<Option<Plan<M>>> = Vec::with_capacity(n);
         let mut any = false;
         for i in 0..n {
@@ -371,7 +607,10 @@ pub fn run<S: ShardModel>(cfg: &PdesConfig, shards: &mut [S]) -> PdesStats {
     if cfg.workers <= 1 || n == 1 {
         run_serial(cfg, shards, &turnaround)
     } else {
-        run_parallel(cfg, shards, &turnaround)
+        match cfg.executor {
+            ExecutorKind::TwoBarrier => run_parallel(cfg, shards, &turnaround),
+            ExecutorKind::WorkStealing => run_stealing(cfg, shards, &turnaround),
+        }
     }
 }
 
@@ -381,12 +620,12 @@ fn run_serial<S: ShardModel>(
     turnaround: &[SimDuration],
 ) -> PdesStats {
     let n = shards.len();
-    let mut router: Router<S::Msg> = Router::new(n);
+    let mut router: Router<S::Msg> = Router::new(n, cfg);
     loop {
         let nexts: Vec<_> = shards.iter().map(|s| s.next_time()).collect();
         let bases: Vec<_> = shards.iter().map(|s| s.earliest_send()).collect();
         let Some((plans, hz)) = router.plan_round(cfg, turnaround, &nexts, &bases) else {
-            return router.stats;
+            return router.finish();
         };
         let mut sends_by_src: Vec<Vec<(usize, SimTime, S::Msg)>> = Vec::with_capacity(n);
         for (i, plan) in plans.into_iter().enumerate() {
@@ -443,7 +682,7 @@ fn run_parallel<S: ShardModel>(
 
     // Static contiguous chunking: shard i belongs to worker i / chunk.
     let chunk = n.div_ceil(workers);
-    let mut router: Router<S::Msg> = Router::new(n);
+    let mut router: Router<S::Msg> = Router::new(n, cfg);
 
     std::thread::scope(|scope| {
         let mut rest = &mut *shards;
@@ -494,7 +733,7 @@ fn run_parallel<S: ShardModel>(
                 let nexts: Vec<_> = slots.iter().map(|s| s.lock().unwrap().next).collect();
                 let bases: Vec<_> = slots.iter().map(|s| s.lock().unwrap().eot).collect();
                 let Some((plans, hz)) = router.plan_round(cfg, turnaround, &nexts, &bases) else {
-                    return router.stats;
+                    return router.finish();
                 };
                 for (i, plan) in plans.into_iter().enumerate() {
                     slots[i].lock().unwrap().plan = plan;
@@ -508,6 +747,160 @@ fn run_parallel<S: ShardModel>(
                     sends_by_src.push(std::mem::take(&mut slot.sends));
                     if panic.is_none() {
                         panic = slot.panic.take();
+                    }
+                }
+                if let Some(payload) = panic {
+                    resume_unwind(payload);
+                }
+                router.route(&hz, sends_by_src);
+            }
+        };
+        let result = catch_unwind(AssertUnwindSafe(&mut body));
+        done.store(true, Ordering::Release);
+        start.wait();
+        match result {
+            Ok(stats) => stats,
+            Err(payload) => resume_unwind(payload),
+        }
+    })
+}
+
+/// A shard together with its coordinator-facing mailbox, lockable as one
+/// unit so any worker — owner or thief — can claim and advance it.
+struct StealCell<'a, S: ShardModel> {
+    shard: &'a mut S,
+    slot: Slot<S::Msg>,
+}
+
+/// The work-stealing executor: the same two barriers and the same
+/// coordinator as [`run_parallel`], but within a round the planned shard
+/// indices sit in per-worker deques (filled by the owner rule `i / chunk`,
+/// identical to the static chunking). A worker pops its own deque from the
+/// front; when empty it probes the other deques round-robin and steals
+/// from the back. Shard state is only ever touched under the cell lock by
+/// whichever worker claimed the index, so results are byte-identical to
+/// the static executor — only [`ExecTelemetry`] varies.
+fn run_stealing<S: ShardModel>(
+    cfg: &PdesConfig,
+    shards: &mut [S],
+    turnaround: &[SimDuration],
+) -> PdesStats {
+    let n = shards.len();
+    let workers = cfg.workers.min(n);
+    let cells: Vec<Mutex<StealCell<S>>> = shards
+        .iter_mut()
+        .map(|shard| {
+            let slot = Slot {
+                plan: None,
+                sends: Vec::new(),
+                next: shard.next_time(),
+                eot: shard.earliest_send(),
+                panic: None,
+            };
+            Mutex::new(StealCell { shard, slot })
+        })
+        .collect();
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    let start = Barrier::new(workers + 1);
+    let finish = Barrier::new(workers + 1);
+    let done = AtomicBool::new(false);
+    let steals = AtomicU64::new(0);
+    let steal_attempts = AtomicU64::new(0);
+    let idle_ns = AtomicU64::new(0);
+
+    let chunk = n.div_ceil(workers);
+    let mut router: Router<S::Msg> = Router::new(n, cfg);
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let (cells, queues, start, finish, done) = (&cells, &queues, &start, &finish, &done);
+            let (steals, steal_attempts, idle_ns) = (&steals, &steal_attempts, &idle_ns);
+            scope.spawn(move || loop {
+                start.wait();
+                if done.load(Ordering::Acquire) {
+                    return;
+                }
+                let round_start = Instant::now();
+                let mut busy = std::time::Duration::ZERO;
+                loop {
+                    // Own work first (front), then round-robin steal
+                    // probes against the other deques (back).
+                    let mut claimed = queues[w].lock().unwrap().pop_front();
+                    if claimed.is_none() {
+                        for d in 1..workers {
+                            let victim = (w + d) % workers;
+                            steal_attempts.fetch_add(1, Ordering::Relaxed);
+                            claimed = queues[victim].lock().unwrap().pop_back();
+                            if claimed.is_some() {
+                                steals.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+                    let Some(idx) = claimed else { break };
+                    let work_start = Instant::now();
+                    let mut cell = cells[idx].lock().unwrap();
+                    let cell = &mut *cell;
+                    let plan = cell.slot.plan.take().expect("queued shard has a plan");
+                    let mut out = Outbox {
+                        from: idx,
+                        floor: plan.floor,
+                        sends: Vec::new(),
+                    };
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        cell.shard.advance(plan.horizon, plan.inbox, &mut out)
+                    }));
+                    match result {
+                        Ok(()) => cell.slot.sends = out.sends,
+                        Err(payload) => cell.slot.panic = Some(payload),
+                    }
+                    cell.slot.next = cell.shard.next_time();
+                    cell.slot.eot = cell.shard.earliest_send();
+                    busy += work_start.elapsed();
+                }
+                let span = round_start.elapsed();
+                idle_ns.fetch_add(
+                    span.saturating_sub(busy).as_nanos() as u64,
+                    Ordering::Relaxed,
+                );
+                finish.wait();
+            });
+        }
+
+        // Coordinator: identical barrier/panic discipline to
+        // `run_parallel` (see the comment there).
+        let mut body = || -> PdesStats {
+            loop {
+                let nexts: Vec<_> = cells.iter().map(|c| c.lock().unwrap().slot.next).collect();
+                let bases: Vec<_> = cells.iter().map(|c| c.lock().unwrap().slot.eot).collect();
+                let Some((plans, hz)) = router.plan_round(cfg, turnaround, &nexts, &bases) else {
+                    let mut stats = router.finish();
+                    stats.exec = ExecTelemetry {
+                        steals: steals.load(Ordering::Relaxed),
+                        steal_attempts: steal_attempts.load(Ordering::Relaxed),
+                        idle_ns: idle_ns.load(Ordering::Relaxed),
+                    };
+                    return stats;
+                };
+                for queue in &queues {
+                    queue.lock().unwrap().clear();
+                }
+                for (i, plan) in plans.into_iter().enumerate() {
+                    if plan.is_some() {
+                        queues[i / chunk].lock().unwrap().push_back(i);
+                    }
+                    cells[i].lock().unwrap().slot.plan = plan;
+                }
+                start.wait();
+                finish.wait();
+                let mut sends_by_src = Vec::with_capacity(n);
+                let mut panic = None;
+                for cell in cells.iter() {
+                    let mut cell = cell.lock().unwrap();
+                    sends_by_src.push(std::mem::take(&mut cell.slot.sends));
+                    if panic.is_none() {
+                        panic = cell.slot.panic.take();
                     }
                 }
                 if let Some(payload) = panic {
@@ -558,8 +951,11 @@ mod tests {
         peers: usize,
         rng: DeterministicRng,
         send_chance: f64,
+        /// Keyed `(time, class, content key)`: same-instant ordering must
+        /// come from the event's identity, never from insertion order,
+        /// or window slicing (which moves deliveries between rounds)
+        /// would reorder them.
         pending: BTreeMap<(SimTime, u8, u64), ToyEv>,
-        tiebreak: u64,
         remaining_auto: u32,
         next_auto: Option<SimTime>,
         auto_gap: u64,
@@ -583,7 +979,6 @@ mod tests {
                 rng: DeterministicRng::seed(seed ^ (id as u64).wrapping_mul(0x9E37)),
                 send_chance,
                 pending: BTreeMap::new(),
-                tiebreak: 0,
                 remaining_auto: autos,
                 next_auto: (autos > 0).then(|| SimTime::from_nanos(1 + id as u64)),
                 auto_gap,
@@ -593,9 +988,9 @@ mod tests {
             }
         }
 
-        fn schedule(&mut self, at: SimTime, class: u8, ev: ToyEv) {
-            self.tiebreak += 1;
-            self.pending.insert((at, class, self.tiebreak), ev);
+        fn schedule(&mut self, at: SimTime, class: u8, key: u64, ev: ToyEv) {
+            let clobbered = self.pending.insert((at, class, key), ev);
+            assert!(clobbered.is_none(), "content key collision at {at}");
         }
 
         fn fold(&mut self, at: SimTime, tag: u64, a: u64, b: u64) {
@@ -655,7 +1050,12 @@ mod tests {
                     a.at,
                     self.processed_max
                 );
-                self.schedule(a.at, 1, ToyEv::Inbound(a.src, a.seq, a.msg));
+                self.schedule(
+                    a.at,
+                    1,
+                    ((a.src as u64) << 32) | a.seq,
+                    ToyEv::Inbound(a.src, a.seq, a.msg),
+                );
             }
             loop {
                 let next_pending = self.pending.keys().next().copied();
@@ -697,6 +1097,7 @@ mod tests {
                             self.schedule(
                                 at + SimDuration::from_nanos(ACK_DELAY),
                                 2,
+                                ((src as u64) << 32) | seq,
                                 ToyEv::AckSend(src, payload | ACK_BIT),
                             );
                         }
@@ -727,21 +1128,103 @@ mod tests {
     }
 
     #[test]
-    fn serial_and_parallel_runs_are_identical() {
+    fn every_executor_and_window_matches_the_serial_reference() {
         for n in [1usize, 2, 3, 5, 8] {
             let mut reference = make_shards(n, 99, 40);
             let ref_stats = run(&PdesConfig::serial(lookahead()), &mut reference);
-            for workers in [2usize, 3, 16] {
-                let mut shards = make_shards(n, 99, 40);
-                let stats = run(&PdesConfig::parallel(workers, lookahead()), &mut shards);
-                assert_eq!(
-                    digests(&shards),
-                    digests(&reference),
-                    "n={n} workers={workers}"
+            for window in [WindowPolicy::Unbounded, WindowPolicy::adaptive(lookahead())] {
+                // The window changes how rounds slice time, never what the
+                // shards compute: the serial run under either policy must
+                // reproduce the unbounded reference digests.
+                let mut serial = make_shards(n, 99, 40);
+                let serial_stats = run(
+                    &PdesConfig::serial(lookahead()).with_window(window),
+                    &mut serial,
                 );
-                assert_eq!(stats, ref_stats, "n={n} workers={workers}");
+                assert_eq!(digests(&serial), digests(&reference), "n={n} {window:?}");
+                if window == WindowPolicy::Unbounded {
+                    assert_eq!(serial_stats, ref_stats);
+                }
+                for executor in [ExecutorKind::TwoBarrier, ExecutorKind::WorkStealing] {
+                    for workers in [2usize, 3, 16] {
+                        let mut shards = make_shards(n, 99, 40);
+                        let cfg = PdesConfig::parallel(workers, lookahead())
+                            .with_window(window)
+                            .with_executor(executor);
+                        let stats = run(&cfg, &mut shards);
+                        assert_eq!(
+                            digests(&shards),
+                            digests(&reference),
+                            "n={n} workers={workers} {executor:?} {window:?}"
+                        );
+                        // Round structure is a pure function of published
+                        // bounds: identical to the serial run under the
+                        // same window policy (equality ignores the
+                        // wall-clock executor telemetry).
+                        assert_eq!(
+                            stats, serial_stats,
+                            "n={n} workers={workers} {executor:?} {window:?}"
+                        );
+                    }
+                }
             }
         }
+    }
+
+    #[test]
+    fn adaptive_window_reports_width_telemetry() {
+        let mut shards = make_shards(4, 21, 30);
+        let stats = run(
+            &PdesConfig::serial(lookahead()).with_window(WindowPolicy::adaptive(lookahead())),
+            &mut shards,
+        );
+        assert_eq!(stats.window.adaptive_rounds, stats.rounds);
+        assert!(stats.window.min_ns >= LOOKAHEAD);
+        assert!(stats.window.min_ns <= stats.window.median_ns);
+        assert!(stats.window.median_ns <= stats.window.max_ns);
+        assert!(stats.window.max_ns <= LOOKAHEAD * 1024);
+        // The toy workload spreads events far wider than the lookahead
+        // floor, so the floor-width window must actually bind sometimes.
+        assert!(stats.window.capped_rounds > 0);
+    }
+
+    #[test]
+    fn unbounded_window_reports_no_telemetry() {
+        let mut shards = make_shards(4, 21, 30);
+        let stats = run(&PdesConfig::serial(lookahead()), &mut shards);
+        assert_eq!(stats.window, WindowStats::default());
+    }
+
+    #[test]
+    fn work_stealing_executor_records_steal_probes() {
+        // More shards than a worker's chunk guarantees round-internal
+        // imbalance somewhere; at minimum every worker probes its peers
+        // once before parking at the finish barrier.
+        let mut shards = make_shards(8, 99, 40);
+        let cfg = PdesConfig::parallel(4, lookahead()).with_executor(ExecutorKind::WorkStealing);
+        let stats = run(&cfg, &mut shards);
+        assert!(stats.exec.steal_attempts > 0);
+        assert!(stats.exec.steals <= stats.exec.steal_attempts);
+    }
+
+    #[test]
+    fn executor_override_parses_and_rejects_loudly() {
+        assert_eq!(ExecutorKind::from_override(None), None);
+        assert_eq!(
+            ExecutorKind::from_override(Some("two-barrier")),
+            Some(ExecutorKind::TwoBarrier)
+        );
+        assert_eq!(
+            ExecutorKind::from_override(Some(" work-stealing ")),
+            Some(ExecutorKind::WorkStealing)
+        );
+        let err =
+            std::panic::catch_unwind(|| ExecutorKind::from_override(Some("greedy"))).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert_eq!(
+            msg,
+            "MULTICUBE_PDES_EXECUTOR must be \"two-barrier\" or \"work-stealing\", got \"greedy\""
+        );
     }
 
     #[test]
@@ -797,12 +1280,17 @@ mod tests {
                 panic!("boom in a shard");
             }
         }
-        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            run(&PdesConfig::parallel(2, lookahead()), &mut [Bomb, Bomb])
-        }))
-        .unwrap_err();
-        let msg = err.downcast_ref::<&str>().copied().unwrap_or("");
-        assert!(msg.contains("boom in a shard"), "{msg}");
+        for executor in [ExecutorKind::TwoBarrier, ExecutorKind::WorkStealing] {
+            let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                run(
+                    &PdesConfig::parallel(2, lookahead()).with_executor(executor),
+                    &mut [Bomb, Bomb],
+                )
+            }))
+            .unwrap_err();
+            let msg = err.downcast_ref::<&str>().copied().unwrap_or("");
+            assert!(msg.contains("boom in a shard"), "{executor:?}: {msg}");
+        }
     }
 
     #[test]

@@ -2,11 +2,14 @@
 //! lookahead-respecting workloads, (1) a cross-domain op is never
 //! delivered into a neighbour shard's past — the shard itself asserts
 //! every arrival is at or after the latest instant it has processed — and
-//! (2) every parallel worker count reproduces the serial run bit for bit.
+//! (2) every parallel worker count, executor, and window policy
+//! reproduces the serial unbounded run bit for bit.
 
 use std::collections::BTreeMap;
 
-use multicube_sim::pdes::{run, Arrival, Outbox, PdesConfig, ShardModel};
+use multicube_sim::pdes::{
+    run, Arrival, ExecutorKind, Outbox, PdesConfig, ShardModel, WindowPolicy,
+};
 use multicube_sim::{DeterministicRng, SimDuration, SimTime};
 use proptest::prelude::*;
 
@@ -37,12 +40,16 @@ struct Workload {
 /// random peers with delivery delay >= lookahead, and acknowledging every
 /// original message after a local delay. Folds everything it observes
 /// into `digest` in processing order.
+///
+/// Same-instant pending events are keyed on the originating message's
+/// `(src, seq)` identity — never on insertion order, which is *not*
+/// invariant when an adaptive window slices deliveries into different
+/// rounds.
 struct Shard {
     id: usize,
     w: Workload,
     rng: DeterministicRng,
     pending: BTreeMap<(SimTime, u8, u64), Ev>,
-    tiebreak: u64,
     remaining_auto: u32,
     next_auto: Option<SimTime>,
     processed_max: SimTime,
@@ -57,7 +64,6 @@ impl Shard {
             w,
             rng: DeterministicRng::seed(w.seed ^ (id as u64).wrapping_mul(0x9E3779B97F4A7C15)),
             pending: BTreeMap::new(),
-            tiebreak: 0,
             remaining_auto: w.autos,
             next_auto: (w.autos > 0).then(|| SimTime::from_nanos(1 + id as u64)),
             processed_max: SimTime::ZERO,
@@ -66,9 +72,9 @@ impl Shard {
         }
     }
 
-    fn schedule(&mut self, at: SimTime, class: u8, ev: Ev) {
-        self.tiebreak += 1;
-        self.pending.insert((at, class, self.tiebreak), ev);
+    fn schedule(&mut self, at: SimTime, class: u8, key: u64, ev: Ev) {
+        let clobbered = self.pending.insert((at, class, key), ev);
+        assert!(clobbered.is_none(), "shard {}: key collision", self.id);
     }
 
     fn fold(&mut self, at: SimTime, tag: u64, a: u64, b: u64) {
@@ -130,7 +136,8 @@ impl ShardModel for Shard {
                 a.at,
                 self.processed_max
             );
-            self.schedule(a.at, 1, Ev::Inbound(a.src, a.seq, a.msg));
+            let key = ((a.src as u64) << 32) | a.seq;
+            self.schedule(a.at, 1, key, Ev::Inbound(a.src, a.seq, a.msg));
         }
         loop {
             let next_pending = self.pending.keys().next().copied();
@@ -159,7 +166,7 @@ impl ShardModel for Shard {
                 }
                 continue;
             }
-            let Some(key @ (at, _, _)) = next_pending else {
+            let Some(key @ (at, _, content)) = next_pending else {
                 break;
             };
             if at >= horizon {
@@ -171,9 +178,12 @@ impl ShardModel for Shard {
                 Ev::Inbound(src, seq, payload) => {
                     self.fold(at, 1, ((src as u64) << 32) | seq, payload);
                     if payload & ACK_BIT == 0 {
+                        // Key the ack on the same (src, seq) identity; the
+                        // class distinguishes it from a co-instant inbound.
                         self.schedule(
                             at + SimDuration::from_nanos(self.w.ack_delay),
                             2,
+                            content,
                             Ev::AckSend(src, payload | ACK_BIT),
                         );
                     }
@@ -187,14 +197,24 @@ impl ShardModel for Shard {
     }
 }
 
-fn execute(w: Workload, workers: usize) -> Vec<(u64, u64)> {
+/// Runs the workload and returns (per-shard outcomes, scheduler stats).
+/// The outcomes must match across every execution strategy; the stats
+/// only across strategies sharing a window policy.
+fn execute(
+    w: Workload,
+    workers: usize,
+    executor: ExecutorKind,
+    window: WindowPolicy,
+) -> (Vec<(u64, u64)>, (u64, u64)) {
     let mut shards: Vec<Shard> = (0..w.shards).map(|id| Shard::new(id, w)).collect();
     let lookahead = SimDuration::from_nanos(w.lookahead);
     let cfg = if workers <= 1 {
         PdesConfig::serial(lookahead)
     } else {
         PdesConfig::parallel(workers, lookahead)
-    };
+    }
+    .with_executor(executor)
+    .with_window(window);
     let stats = run(&cfg, &mut shards);
     assert!(
         shards
@@ -202,17 +222,18 @@ fn execute(w: Workload, workers: usize) -> Vec<(u64, u64)> {
             .all(|s| s.pending.is_empty() && s.remaining_auto == 0),
         "run terminated with work left"
     );
-    let mut out: Vec<(u64, u64)> = shards.iter().map(|s| (s.digest, s.processed)).collect();
-    out.push((stats.rounds, stats.messages));
-    out
+    let out: Vec<(u64, u64)> = shards.iter().map(|s| (s.digest, s.processed)).collect();
+    (out, (stats.rounds, stats.messages))
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(ProptestConfig::with_cases(32))]
 
     /// Random lookahead-respecting schedules never deliver a cross-domain
     /// op in a neighbour's past (asserted inside `advance`), and the
-    /// outcome is independent of the worker count.
+    /// outcome is independent of worker count, executor, and window
+    /// policy. Round/message counts must additionally be worker- and
+    /// executor-invariant for a fixed window policy.
     #[test]
     fn random_schedules_stay_causal_and_deterministic(
         shards in 1usize..6,
@@ -233,8 +254,16 @@ proptest! {
             ack_delay: knobs.below(20),
             seed,
         };
-        let serial = execute(w, 1);
-        let parallel = execute(w, workers);
-        prop_assert_eq!(serial, parallel);
+        let adaptive = WindowPolicy::adaptive(SimDuration::from_nanos(w.lookahead));
+        let (reference, _) =
+            execute(w, 1, ExecutorKind::TwoBarrier, WindowPolicy::Unbounded);
+        for window in [WindowPolicy::Unbounded, adaptive] {
+            let (_, serial_stats) = execute(w, 1, ExecutorKind::TwoBarrier, window);
+            for executor in [ExecutorKind::TwoBarrier, ExecutorKind::WorkStealing] {
+                let (outcome, stats) = execute(w, workers, executor, window);
+                prop_assert_eq!(&outcome, &reference, "{:?} {:?}", executor, window);
+                prop_assert_eq!(stats, serial_stats, "{:?} {:?}", executor, window);
+            }
+        }
     }
 }

@@ -15,6 +15,8 @@ pub enum TopologyError {
     TooManyNodes,
     /// A shard dimension passed to [`crate::DomainMap::new`] is `>= k`.
     ShardDimensionOutOfRange,
+    /// The two shard dimensions of a [`crate::TwoLevelMap`] coincide.
+    ShardDimensionsNotDistinct,
 }
 
 impl fmt::Display for TopologyError {
@@ -25,6 +27,9 @@ impl fmt::Display for TopologyError {
             TopologyError::TooManyNodes => write!(f, "n^k exceeds the supported node count"),
             TopologyError::ShardDimensionOutOfRange => {
                 write!(f, "shard dimension must be less than k")
+            }
+            TopologyError::ShardDimensionsNotDistinct => {
+                write!(f, "two-level shard dimensions must be distinct")
             }
         }
     }

@@ -131,6 +131,103 @@ impl DomainMap {
     }
 }
 
+/// A two-level partition of an `n^k` Multicube into `n^2` shard domains:
+/// first along `outer` (for the 3-D machine, dimension 0 — the planes),
+/// then along `inner` within each outer domain (dimension 1 — the
+/// column-bus domains of a plane). Cross-shard edges are exactly the buses
+/// along the two shard dimensions: `outer` buses connect a node to its
+/// images in the other outer domains (the depth hop), `inner` buses
+/// connect the inner domains of one outer domain (one grid-bus hop) —
+/// which is why a two-level conservative DES gets an intra-plane lookahead
+/// of a single grid-bus transfer.
+///
+/// # Example
+///
+/// ```
+/// use multicube_topology::{Multicube, TwoLevelMap};
+///
+/// // 4^3 = 64 processors in 16 column domains of 4.
+/// let cube = Multicube::new(4, 3).unwrap();
+/// let map = TwoLevelMap::new(cube, 0, 1).unwrap();
+/// assert_eq!(map.num_shards(), 16);
+/// assert_eq!(map.nodes_per_shard(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TwoLevelMap {
+    outer: DomainMap,
+    inner: DomainMap,
+}
+
+impl TwoLevelMap {
+    /// Shards `cube` along `outer`, then `inner` within each outer domain.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::ShardDimensionOutOfRange`] if either dimension is
+    /// `>= k`, [`TopologyError::ShardDimensionsNotDistinct`] if they
+    /// coincide.
+    pub fn new(cube: Multicube, outer: u8, inner: u8) -> Result<Self, TopologyError> {
+        if outer == inner {
+            return Err(TopologyError::ShardDimensionsNotDistinct);
+        }
+        Ok(TwoLevelMap {
+            outer: DomainMap::new(cube.clone(), outer)?,
+            inner: DomainMap::new(cube, inner)?,
+        })
+    }
+
+    /// The underlying topology.
+    pub fn cube(&self) -> &Multicube {
+        self.outer.cube()
+    }
+
+    /// The coarse (first-level) partition.
+    pub fn outer(&self) -> &DomainMap {
+        &self.outer
+    }
+
+    /// The fine (second-level) partition.
+    pub fn inner(&self) -> &DomainMap {
+        &self.inner
+    }
+
+    /// Number of two-level shards (`n^2`).
+    pub fn num_shards(&self) -> u32 {
+        let n = self.cube().arity();
+        n * n
+    }
+
+    /// Nodes per shard (`n^(k-2)`, 1 for a plain 2-D grid).
+    pub fn nodes_per_shard(&self) -> u32 {
+        self.cube().num_nodes() / self.num_shards()
+    }
+
+    /// The shard `node` belongs to: `outer domain * n + inner domain`, so
+    /// consecutive shard indices walk the inner domains of one outer
+    /// domain before moving to the next — the layout a scheduler's static
+    /// chunking maps onto whole outer domains first.
+    pub fn shard_of(&self, node: NodeId) -> u32 {
+        self.outer.domain_of(node) * self.cube().arity() + self.inner.domain_of(node)
+    }
+
+    /// The `(outer, inner)` domain pair of a shard index (the inverse of
+    /// [`shard_of`](Self::shard_of) composed with the domain lookups).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= n^2`.
+    pub fn domains_of(&self, shard: u32) -> (u32, u32) {
+        assert!(shard < self.num_shards(), "shard out of range");
+        let n = self.cube().arity();
+        (shard / n, shard % n)
+    }
+
+    /// Whether `bus` crosses shards at either level.
+    pub fn is_cross_shard(&self, bus: BusId) -> bool {
+        self.outer.is_cross_domain(bus) || self.inner.is_cross_domain(bus)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,6 +303,54 @@ mod tests {
                 assert_eq!(domains.len() as u32, map.num_domains());
             } else {
                 assert_eq!(domains.len(), 1, "{bus} leaks across domains");
+            }
+        }
+    }
+
+    #[test]
+    fn two_level_map_rejects_bad_dimensions() {
+        let cube = Multicube::new(4, 3).unwrap();
+        assert_eq!(
+            TwoLevelMap::new(cube.clone(), 0, 0),
+            Err(TopologyError::ShardDimensionsNotDistinct)
+        );
+        assert_eq!(
+            TwoLevelMap::new(cube, 0, 3),
+            Err(TopologyError::ShardDimensionOutOfRange)
+        );
+    }
+
+    #[test]
+    fn two_level_shards_partition_the_nodes() {
+        let cube = Multicube::new(3, 3).unwrap();
+        let map = TwoLevelMap::new(cube, 0, 1).unwrap();
+        assert_eq!(map.num_shards(), 9);
+        assert_eq!(map.nodes_per_shard(), 3);
+        let mut counts = vec![0u32; map.num_shards() as usize];
+        for node in map.cube().nodes() {
+            let shard = map.shard_of(node);
+            let (plane, col) = map.domains_of(shard);
+            assert_eq!(map.outer().domain_of(node), plane);
+            assert_eq!(map.inner().domain_of(node), col);
+            counts[shard as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == map.nodes_per_shard()));
+    }
+
+    #[test]
+    fn two_level_cross_shard_buses_are_the_two_shard_dimensions() {
+        let cube = Multicube::new(3, 3).unwrap();
+        let map = TwoLevelMap::new(cube, 0, 1).unwrap();
+        for bus in map.cube().buses() {
+            let shards: std::collections::HashSet<_> = map
+                .cube()
+                .nodes_on_bus(bus)
+                .map(|m| map.shard_of(m))
+                .collect();
+            if map.is_cross_shard(bus) {
+                assert!(shards.len() > 1, "{bus} should cross shards");
+            } else {
+                assert_eq!(shards.len(), 1, "{bus} leaks across shards");
             }
         }
     }

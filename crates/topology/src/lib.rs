@@ -37,6 +37,6 @@ pub mod ids;
 pub mod scaling;
 
 pub use cube::{Multicube, TopologyError};
-pub use domain::DomainMap;
+pub use domain::{DomainMap, TwoLevelMap};
 pub use grid::Grid;
 pub use ids::{BusId, BusKind, NodeId};
